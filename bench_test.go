@@ -1,0 +1,307 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation section (run with `go test -bench=. -benchmem`).
+// Each benchmark both times the experiment and reports its headline numbers
+// as custom metrics, so a bench run doubles as a reproduction log:
+//
+//	BenchmarkFig10Time        — Fig. 10a per-step time per config
+//	BenchmarkFig10Energy      — Fig. 10b energy
+//	BenchmarkFig10Traffic     — Fig. 10c DRAM traffic
+//	BenchmarkFig11BufferSweep — Fig. 11 buffer-size sensitivity
+//	BenchmarkFig12MemorySweep — Fig. 12 memory-type sensitivity
+//	BenchmarkFig13GPUComparison — Fig. 13 V100 comparison
+//	BenchmarkFig14Utilization — Fig. 14 systolic utilization
+//	BenchmarkFig3/4/5         — scheduling profiles
+//	BenchmarkFig6Training     — training-equivalence substitute (short)
+//	BenchmarkTable2Area       — Tab. 2 area/power model
+//	BenchmarkAblation*        — design-choice ablations from DESIGN.md
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+// BenchmarkFig3Footprints regenerates the ResNet-50 footprint profile.
+func BenchmarkFig3Footprints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3(io.Discard)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig4Grouping regenerates the per-block grouping profile.
+func BenchmarkFig4Grouping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(io.Discard)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig5Schedule regenerates the concrete ResNet-50 MBS schedules.
+func BenchmarkFig5Schedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(io.Discard, "resnet50"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Training runs a shortened training-equivalence experiment
+// (3 epochs, 128 samples) — the full Fig. 6 substitute lives in cmd/mbstrain.
+func BenchmarkFig6Training(b *testing.B) {
+	cfg := experiments.DefaultFig6Config()
+	cfg.Epochs = 3
+	cfg.Data.Samples = 128
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(io.Discard, cfg)
+		if len(res.GNMBS.ValError) != cfg.Epochs {
+			b.Fatal("missing epochs")
+		}
+		b.ReportMetric(res.GNMBS.ValError[cfg.Epochs-1], "GN-MBS-val-err")
+		b.ReportMetric(res.BN.ValError[cfg.Epochs-1], "BN-val-err")
+	}
+}
+
+// fig10Metrics attaches one Fig. 10 quantity per config as a bench metric.
+func fig10Metrics(b *testing.B, network string, metric func(experiments.Fig10Cell) (float64, string)) {
+	b.Helper()
+	var cells []experiments.Fig10Cell
+	for i := 0; i < b.N; i++ {
+		var err error
+		cells, err = experiments.Fig10(io.Discard, network)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, c := range cells {
+		v, unit := metric(c)
+		b.ReportMetric(v, fmt.Sprintf("%s-%s", c.Config, unit))
+	}
+}
+
+// BenchmarkFig10Time reports Fig. 10a (per-step milliseconds per config).
+func BenchmarkFig10Time(b *testing.B) {
+	for _, network := range experiments.DeepCNNs {
+		b.Run(network, func(b *testing.B) {
+			fig10Metrics(b, network, func(c experiments.Fig10Cell) (float64, string) {
+				return c.StepSeconds * 1e3, "ms"
+			})
+		})
+	}
+}
+
+// BenchmarkFig10Energy reports Fig. 10b (joules per step per config).
+func BenchmarkFig10Energy(b *testing.B) {
+	for _, network := range experiments.DeepCNNs {
+		b.Run(network, func(b *testing.B) {
+			fig10Metrics(b, network, func(c experiments.Fig10Cell) (float64, string) {
+				return c.EnergyJ, "J"
+			})
+		})
+	}
+}
+
+// BenchmarkFig10Traffic reports Fig. 10c (DRAM GB per step per config).
+func BenchmarkFig10Traffic(b *testing.B) {
+	for _, network := range experiments.DeepCNNs {
+		b.Run(network, func(b *testing.B) {
+			fig10Metrics(b, network, func(c experiments.Fig10Cell) (float64, string) {
+				return float64(c.DRAMBytes) / 1e9, "GB"
+			})
+		})
+	}
+}
+
+// BenchmarkFig11BufferSweep reports the buffer-size sensitivity (Fig. 11).
+func BenchmarkFig11BufferSweep(b *testing.B) {
+	var points []experiments.Fig11Point
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig11(io.Discard)
+	}
+	for _, p := range points {
+		if p.Config == core.MBS2 {
+			b.ReportMetric(p.StepSeconds*1e3, fmt.Sprintf("MBS2-%dMiB-ms", p.BufferMiB))
+		}
+	}
+}
+
+// BenchmarkFig12MemorySweep reports the memory-type sensitivity (Fig. 12).
+func BenchmarkFig12MemorySweep(b *testing.B) {
+	var points []experiments.Fig12Point
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig12(io.Discard)
+	}
+	for _, p := range points {
+		if p.Config == core.MBS2 || p.Config == core.Baseline {
+			b.ReportMetric(p.Speedup, fmt.Sprintf("%s-%s-speedup", p.Config, p.Memory))
+		}
+	}
+}
+
+// BenchmarkFig13GPUComparison reports WaveCore+MBS2 speedups over the V100.
+func BenchmarkFig13GPUComparison(b *testing.B) {
+	var points []experiments.Fig13Point
+	for i := 0; i < b.N; i++ {
+		points = experiments.Fig13(io.Discard)
+	}
+	for _, p := range points {
+		b.ReportMetric(p.Speedup, fmt.Sprintf("%s-%s-x", p.Network, p.Memory))
+	}
+}
+
+// BenchmarkFig14Utilization reports systolic utilization per config.
+func BenchmarkFig14Utilization(b *testing.B) {
+	var cells []experiments.Fig14Cell
+	for i := 0; i < b.N; i++ {
+		cells = experiments.Fig14(io.Discard)
+	}
+	sums := map[core.Config]float64{}
+	counts := map[core.Config]int{}
+	for _, c := range cells {
+		sums[c.Config] += c.Utilization
+		counts[c.Config]++
+	}
+	for cfg, s := range sums {
+		b.ReportMetric(100*s/float64(counts[cfg]), fmt.Sprintf("%s-avg-util-pct", cfg))
+	}
+}
+
+// BenchmarkTable2Area regenerates the area/power estimate.
+func BenchmarkTable2Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(io.Discard)
+		if len(rows) != 4 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md's design-choice list) ------------------------------
+
+// BenchmarkAblationGrouping compares greedy vs optimal vs no grouping
+// (paper footnote 1: exhaustive search gains ~1% over greedy).
+func BenchmarkAblationGrouping(b *testing.B) {
+	net, _ := models.Build("resnet50")
+	for _, mode := range []core.GroupingMode{core.GroupNone, core.GroupGreedy, core.GroupOptimal} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var traffic int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions(core.MBS2, 32)
+				opts.Grouping = mode
+				traffic = core.ComputeTraffic(core.MustPlan(net, opts)).TotalDRAM()
+			}
+			b.ReportMetric(float64(traffic)/1e9, "GB")
+		})
+	}
+}
+
+// BenchmarkAblationReLUMask measures the 1-bit ReLU gradient stash.
+func BenchmarkAblationReLUMask(b *testing.B) {
+	net, _ := models.Build("resnet50")
+	for _, disable := range []bool{false, true} {
+		name := "mask-on"
+		if disable {
+			name = "mask-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var traffic int64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions(core.MBS2, 32)
+				opts.DisableReLUMask = disable
+				traffic = core.ComputeTraffic(core.MustPlan(net, opts)).TotalDRAM()
+			}
+			b.ReportMetric(float64(traffic)/1e9, "GB")
+		})
+	}
+}
+
+// BenchmarkAblationBranchReuse isolates the multi-branch optimization
+// (MBS1 vs MBS2; the paper's "+20% traffic without it").
+func BenchmarkAblationBranchReuse(b *testing.B) {
+	for _, network := range []string{"resnet50", "inceptionv4"} {
+		net, _ := models.Build(network)
+		for _, cfg := range []core.Config{core.MBS1, core.MBS2} {
+			b.Run(fmt.Sprintf("%s/%s", network, cfg), func(b *testing.B) {
+				var traffic int64
+				for i := 0; i < b.N; i++ {
+					traffic = core.ComputeTraffic(core.MustPlan(net, core.DefaultOptions(cfg, 32))).TotalDRAM()
+				}
+				b.ReportMetric(float64(traffic)/1e9, "GB")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationDoubleBuffering isolates the weight double buffering
+// (Baseline vs ArchOpt wave gaps).
+func BenchmarkAblationDoubleBuffering(b *testing.B) {
+	net, _ := models.Build("resnet50")
+	for _, cfg := range []core.Config{core.Baseline, core.ArchOpt} {
+		b.Run(cfg.String(), func(b *testing.B) {
+			var util float64
+			for i := 0; i < b.N; i++ {
+				s := core.MustPlan(net, core.DefaultOptions(cfg, 32))
+				util = sim.MustSimulate(s, sim.DefaultHW(cfg, memsys.HBM2.Unlimited())).Utilization
+			}
+			b.ReportMetric(util*100, "util-pct")
+		})
+	}
+}
+
+// BenchmarkAblationZeroSkip isolates the zero-operand energy skip.
+func BenchmarkAblationZeroSkip(b *testing.B) {
+	net, _ := models.Build("resnet50")
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	for _, skip := range []bool{true, false} {
+		name := "skip-on"
+		if !skip {
+			name = "skip-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var e float64
+			for i := 0; i < b.N; i++ {
+				hw := sim.DefaultHW(core.MBS2, memsys.HBM2)
+				if !skip {
+					hw.Energy = hw.Energy.WithoutZeroSkip()
+				}
+				e = sim.MustSimulate(s, hw).Energy.Total()
+			}
+			b.ReportMetric(e, "J")
+		})
+	}
+}
+
+// BenchmarkPlanThroughput measures raw scheduler performance (plans/sec) —
+// relevant because MBS planning runs once per (network, hardware) pair.
+func BenchmarkPlanThroughput(b *testing.B) {
+	for _, network := range []string{"resnet50", "inceptionv4"} {
+		net, _ := models.Build(network)
+		b.Run(network, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateThroughput measures simulator performance.
+func BenchmarkSimulateThroughput(b *testing.B) {
+	net, _ := models.Build("resnet50")
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	hw := sim.DefaultHW(core.MBS2, memsys.HBM2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.MustSimulate(s, hw)
+	}
+}

@@ -1,0 +1,95 @@
+// Command mbsched inspects MBS schedules: it regenerates the paper's Fig. 3
+// (per-layer footprints), Fig. 4 (per-block grouping profile) and Fig. 5
+// (the concrete serialized schedule), and can plan any registered network
+// under any configuration, batch size and buffer size.
+//
+// Usage:
+//
+//	mbsched -fig 3|4|5
+//	mbsched -network inceptionv3 -config MBS2 -batch 32 -buffer 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/models"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate a paper figure (3, 4 or 5)")
+	network := flag.String("network", "resnet50", "network to schedule: "+strings.Join(models.Names(), ", "))
+	config := flag.String("config", "MBS2", "execution configuration (Baseline, ArchOpt, IL, MBS-FS, MBS1, MBS2)")
+	batch := flag.Int("batch", 0, "per-core mini-batch size (default: the paper's per-network value)")
+	bufferMiB := flag.Int64("buffer", 10, "global buffer size in MiB")
+	grouping := flag.String("grouping", "greedy", "group formation: greedy, optimal, none")
+	flag.Parse()
+
+	switch *fig {
+	case 3:
+		experiments.Fig3(os.Stdout)
+		return
+	case 4:
+		experiments.Fig4(os.Stdout)
+		return
+	case 5:
+		if _, err := experiments.Fig5(os.Stdout, *network); err != nil {
+			fatal(err)
+		}
+		return
+	case 0:
+	default:
+		fatal(fmt.Errorf("mbsched: unknown figure %d (have 3, 4, 5)", *fig))
+	}
+
+	cfg, err := parseConfig(*config)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := models.Build(*network)
+	if err != nil {
+		fatal(err)
+	}
+	b := *batch
+	if b == 0 {
+		b = models.DefaultBatch(*network)
+	}
+	opts := core.DefaultOptions(cfg, b)
+	opts.BufferBytes = *bufferMiB << 20
+	switch *grouping {
+	case "greedy":
+		opts.Grouping = core.GroupGreedy
+	case "optimal":
+		opts.Grouping = core.GroupOptimal
+	case "none":
+		opts.Grouping = core.GroupNone
+	default:
+		fatal(fmt.Errorf("mbsched: unknown grouping %q", *grouping))
+	}
+
+	s, err := core.Plan(net, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(s)
+	tr := core.ComputeTraffic(s)
+	fmt.Print(tr)
+}
+
+func parseConfig(s string) (core.Config, error) {
+	for _, c := range core.Configs {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("mbsched: unknown config %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command mbsim runs the WaveCore simulator experiments: it regenerates the
+// paper's Fig. 10 (time/energy/traffic across configurations), Fig. 11
+// (buffer-size sensitivity), Fig. 12 (memory-type sensitivity), Fig. 13
+// (V100 comparison), Fig. 14 (systolic utilization) and Tab. 2 (area/power).
+//
+// Usage:
+//
+//	mbsim -fig 10|11|12|13|14
+//	mbsim -table 2
+//	mbsim -all
+//	mbsim -network resnet50 -config MBS2 -memory LPDDR4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate a paper figure (10-14)")
+	table := flag.Int("table", 0, "regenerate a paper table (2)")
+	all := flag.Bool("all", false, "run every figure and table")
+	network := flag.String("network", "", "simulate a single network instead")
+	config := flag.String("config", "MBS2", "configuration for -network")
+	memory := flag.String("memory", "HBM2", "memory type for -network (HBM2, HBM2x2, GDDR5, LPDDR4)")
+	flag.Parse()
+
+	if *all {
+		runFig(10)
+		runFig(11)
+		runFig(12)
+		runFig(13)
+		runFig(14)
+		experiments.Table2(os.Stdout)
+		return
+	}
+	if *table == 2 {
+		experiments.Table2(os.Stdout)
+		return
+	}
+	if *fig != 0 {
+		runFig(*fig)
+		return
+	}
+	if *network != "" {
+		runSingle(*network, *config, *memory)
+		return
+	}
+	flag.Usage()
+}
+
+func runFig(fig int) {
+	var err error
+	switch fig {
+	case 10:
+		_, err = experiments.Fig10(os.Stdout)
+	case 11:
+		experiments.Fig11(os.Stdout)
+	case 12:
+		experiments.Fig12(os.Stdout)
+	case 13:
+		experiments.Fig13(os.Stdout)
+	case 14:
+		experiments.Fig14(os.Stdout)
+	default:
+		err = fmt.Errorf("mbsim: unknown figure %d (have 10-14)", fig)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+}
+
+func runSingle(network, config, memory string) {
+	var cfg core.Config
+	found := false
+	for _, c := range core.Configs {
+		if strings.EqualFold(c.String(), config) {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		fatal(fmt.Errorf("mbsim: unknown config %q", config))
+	}
+	mem, err := memsys.ByName(memory)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := models.Build(network)
+	if err != nil {
+		fatal(err)
+	}
+	s := core.MustPlan(net, core.DefaultOptions(cfg, models.DefaultBatch(network)))
+	r, err := sim.Simulate(s, sim.DefaultHW(cfg, mem))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(r)
+	fmt.Println("breakdown:", r.BreakdownString())
+	fmt.Printf("energy: DRAM %.3f J, GB %.3f J, compute %.3f J, vector %.3f J, static %.3f J (DRAM share %.1f%%)\n",
+		r.Energy.DRAM, r.Energy.GB, r.Energy.Compute, r.Energy.Vector, r.Energy.Static,
+		100*r.Energy.DRAMFraction())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Quickstart: schedule ResNet-50 under MBS and compare the simulated
+// training step against conventional execution.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. Build a network from the model zoo.
+	net, err := models.Build("resnet50")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d blocks, %.1fM parameters, %.1f GMACs/sample\n\n",
+		net.Name, len(net.Blocks), float64(net.Params())/1e6, float64(net.MACs(1))/1e9)
+
+	// 2. Plan the MBS schedule: 32 samples per core, 10 MiB global buffer.
+	schedule := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	fmt.Print(schedule)
+
+	// 3. Simulate one training step on WaveCore with HBM2, and compare
+	// against the conventional baseline.
+	fmt.Println()
+	for _, cfg := range []core.Config{core.Baseline, core.MBS2} {
+		s := core.MustPlan(net, core.DefaultOptions(cfg, 32))
+		r := sim.MustSimulate(s, sim.DefaultHW(cfg, memsys.HBM2))
+		fmt.Printf("%-8s  step %8s  DRAM %6.2f GB  energy %.2f J  utilization %.1f%%\n",
+			cfg, fmt.Sprintf("%.2fms", r.StepSeconds*1e3),
+			float64(r.DRAMBytes)/1e9, r.Energy.Total(), r.Utilization*100)
+	}
+
+	// 4. The headline numbers.
+	base := sim.MustSimulate(core.MustPlan(net, core.DefaultOptions(core.Baseline, 32)),
+		sim.DefaultHW(core.Baseline, memsys.HBM2))
+	mbs := sim.MustSimulate(schedule, sim.DefaultHW(core.MBS2, memsys.HBM2))
+	fmt.Printf("\nMBS2 vs Baseline: %.2fx faster, %.1f%% less DRAM traffic, %.1f%% less energy\n",
+		base.StepSeconds/mbs.StepSeconds,
+		100*(1-float64(mbs.DRAMBytes)/float64(base.DRAMBytes)),
+		100*(1-mbs.Energy.Total()/base.Energy.Total()))
+}

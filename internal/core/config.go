@@ -1,0 +1,148 @@
+// Package core implements the paper's primary contribution: the Mini-Batch
+// Serialization (MBS) scheduler. It decides, for a CNN described by the
+// graph IR, how a per-processor mini-batch is partially serialized into
+// sub-batches across groups of layers so that inter-layer data stays within
+// the on-chip global buffer, and it provides the DRAM/global-buffer traffic
+// model that both drives the grouping optimization and feeds the WaveCore
+// simulator.
+package core
+
+import "fmt"
+
+// Config enumerates the execution configurations of the paper's Tab. 3.
+type Config int
+
+const (
+	// Baseline is conventional training with two-level GEMM blocking: every
+	// inter-layer tensor is written to and re-read from DRAM, and the
+	// systolic array has no weight double buffering.
+	Baseline Config = iota
+	// ArchOpt adds weight double buffering to the systolic array. Identical
+	// memory behaviour to Baseline; all later configs build on ArchOpt.
+	ArchOpt
+	// IL adds inter-layer reuse, but only when the footprint of the entire
+	// per-processor mini-batch fits in the on-chip buffer (no sub-batching).
+	IL
+	// MBSFS is naive MBS: the whole network is one group, fully serialized
+	// with the single sub-batch size forced by the largest layer.
+	MBSFS
+	// MBS1 greedily forms layer groups to balance intra-layer (weight) and
+	// inter-layer (feature) reuse.
+	MBS1
+	// MBS2 additionally reuses inter-branch data inside multi-branch
+	// modules, provisioning buffer space by Eq. 1/Eq. 2.
+	MBS2
+)
+
+// Configs lists all configurations in evaluation order.
+var Configs = []Config{Baseline, ArchOpt, IL, MBSFS, MBS1, MBS2}
+
+func (c Config) String() string {
+	switch c {
+	case Baseline:
+		return "Baseline"
+	case ArchOpt:
+		return "ArchOpt"
+	case IL:
+		return "IL"
+	case MBSFS:
+		return "MBS-FS"
+	case MBS1:
+		return "MBS1"
+	case MBS2:
+		return "MBS2"
+	default:
+		return fmt.Sprintf("Config(%d)", int(c))
+	}
+}
+
+// Serialized reports whether the configuration propagates sub-batches
+// (any MBS variant).
+func (c Config) Serialized() bool { return c == MBSFS || c == MBS1 || c == MBS2 }
+
+// DoubleBuffered reports whether the systolic array uses weight double
+// buffering (everything except Baseline).
+func (c Config) DoubleBuffered() bool { return c != Baseline }
+
+// BranchReuse reports whether multi-branch modules keep shared data on chip
+// (MBS2 only).
+func (c Config) BranchReuse() bool { return c == MBS2 }
+
+// ReLUMask reports whether the 1-bit ReLU-gradient stash is used. The paper
+// introduces it as part of the MBS back-propagation flow.
+func (c Config) ReLUMask() bool { return c.Serialized() }
+
+// GroupingMode selects how MBS layer groups are formed.
+type GroupingMode int
+
+const (
+	// GroupGreedy is the paper's greedy merge of adjacent groups (MBS1/MBS2
+	// default).
+	GroupGreedy GroupingMode = iota
+	// GroupOptimal finds the traffic-optimal contiguous partition by dynamic
+	// programming — equivalent to the paper's exhaustive search footnote,
+	// which improved on greedy by roughly 1%.
+	GroupOptimal
+	// GroupNone keeps the initial equal-iteration groups without merging
+	// (used by ablation benches).
+	GroupNone
+)
+
+func (m GroupingMode) String() string {
+	switch m {
+	case GroupGreedy:
+		return "greedy"
+	case GroupOptimal:
+		return "optimal"
+	case GroupNone:
+		return "none"
+	default:
+		return fmt.Sprintf("GroupingMode(%d)", int(m))
+	}
+}
+
+// Options parameterizes schedule construction.
+type Options struct {
+	// Config selects the execution configuration (Tab. 3).
+	Config Config
+	// Batch is the per-core mini-batch size (paper: 32 for deep CNNs,
+	// 64 for AlexNet).
+	Batch int
+	// BufferBytes is the per-core global buffer capacity (paper baseline:
+	// 10 MiB).
+	BufferBytes int64
+	// Grouping selects the group-formation algorithm for MBS1/MBS2.
+	Grouping GroupingMode
+	// DisableReLUMask turns off the 1-bit ReLU gradient stash (ablation).
+	DisableReLUMask bool
+}
+
+// DefaultBufferBytes is the paper's baseline 10 MiB global buffer per core.
+const DefaultBufferBytes int64 = 10 << 20
+
+// DefaultOptions returns the paper's default evaluation options for a
+// configuration.
+func DefaultOptions(cfg Config, batch int) Options {
+	return Options{
+		Config:      cfg,
+		Batch:       batch,
+		BufferBytes: DefaultBufferBytes,
+		Grouping:    GroupGreedy,
+	}
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if o.Batch <= 0 {
+		return fmt.Errorf("core: batch must be positive, got %d", o.Batch)
+	}
+	if o.BufferBytes <= 0 {
+		return fmt.Errorf("core: buffer must be positive, got %d", o.BufferBytes)
+	}
+	return nil
+}
+
+// reluMask resolves the effective ReLU-mask setting.
+func (o Options) reluMask() bool {
+	return o.Config.ReLUMask() && !o.DisableReLUMask
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// planGroups forms MBS1/MBS2 layer groups: initial groups of adjacent blocks
+// with equal minimal iteration counts, then merged to minimize modeled DRAM
+// traffic (greedily, per the paper, or optimally by dynamic programming).
+func planGroups(net *graph.Network, opts Options) ([]Group, error) {
+	groups := initialGroups(net, opts)
+	switch opts.Grouping {
+	case GroupNone:
+		return groups, nil
+	case GroupGreedy:
+		return greedyMerge(net, opts, groups), nil
+	case GroupOptimal:
+		return optimalPartition(net, opts), nil
+	default:
+		return nil, fmt.Errorf("core: unknown grouping mode %v", opts.Grouping)
+	}
+}
+
+// groupOver builds the group covering blocks [first,last] with the largest
+// sub-batch every member supports.
+func groupOver(net *graph.Network, opts Options, first, last int) Group {
+	sub := opts.Batch
+	for bi := first; bi <= last; bi++ {
+		if m := MaxSubBatch(net.Blocks[bi], opts.BufferBytes, opts.Batch, opts.Config.BranchReuse()); m < sub {
+			sub = m
+		}
+	}
+	return Group{First: first, Last: last, SubBatch: sub, Iterations: ceilDiv(opts.Batch, sub)}
+}
+
+// initialGroups groups adjacent blocks that require the same number of
+// sub-batch iterations (Fig. 4's red line determines the cut points).
+func initialGroups(net *graph.Network, opts Options) []Group {
+	var groups []Group
+	start := 0
+	prevIt := MinIterations(net.Blocks[0], opts.BufferBytes, opts.Batch, opts.Config.BranchReuse())
+	for bi := 1; bi < len(net.Blocks); bi++ {
+		it := MinIterations(net.Blocks[bi], opts.BufferBytes, opts.Batch, opts.Config.BranchReuse())
+		if it != prevIt {
+			groups = append(groups, groupOver(net, opts, start, bi-1))
+			start = bi
+			prevIt = it
+		}
+	}
+	groups = append(groups, groupOver(net, opts, start, len(net.Blocks)-1))
+	return groups
+}
+
+// groupDRAMCost returns the modeled per-step DRAM traffic of one candidate
+// group in isolation. Because residency never crosses group boundaries, the
+// total traffic of a schedule is the sum of its groups' costs, which makes
+// both greedy evaluation and the DP exact.
+func groupDRAMCost(net *graph.Network, opts Options, g Group) int64 {
+	s := &Schedule{Net: net, Opts: opts, Groups: []Group{g}}
+	s.index()
+	w := &walker{s: s, mode: modeFor(opts.Config)}
+	w.forwardGroup(0)
+	w.backwardGroup(0)
+	var total int64
+	for i := range w.items {
+		total += w.items[i].DRAM()
+	}
+	return total
+}
+
+// costCache memoizes group costs keyed by extent (sub-batch is a function of
+// extent).
+type costCache struct {
+	net  *graph.Network
+	opts Options
+	m    map[[2]int]int64
+}
+
+func newCostCache(net *graph.Network, opts Options) *costCache {
+	return &costCache{net: net, opts: opts, m: make(map[[2]int]int64)}
+}
+
+func (c *costCache) cost(first, last int) int64 {
+	key := [2]int{first, last}
+	if v, ok := c.m[key]; ok {
+		return v
+	}
+	v := groupDRAMCost(c.net, c.opts, groupOver(c.net, c.opts, first, last))
+	c.m[key] = v
+	return v
+}
+
+// greedyMerge repeatedly merges the adjacent group pair with the largest
+// traffic reduction until no merge helps. Merging reduces the sub-batch of
+// the less constrained group (more weight/gradient re-reads) in exchange for
+// keeping the boundary tensor on chip (Section 3, "Layer Grouping Optimizes
+// Reuse").
+func greedyMerge(net *graph.Network, opts Options, groups []Group) []Group {
+	cache := newCostCache(net, opts)
+	for {
+		bestIdx, bestDelta := -1, int64(0)
+		for i := 0; i+1 < len(groups); i++ {
+			a, b := groups[i], groups[i+1]
+			merged := cache.cost(a.First, b.Last)
+			split := cache.cost(a.First, a.Last) + cache.cost(b.First, b.Last)
+			if delta := merged - split; delta < bestDelta {
+				bestDelta, bestIdx = delta, i
+			}
+		}
+		if bestIdx < 0 {
+			return groups
+		}
+		a, b := groups[bestIdx], groups[bestIdx+1]
+		merged := groupOver(net, opts, a.First, b.Last)
+		groups = append(groups[:bestIdx], append([]Group{merged}, groups[bestIdx+2:]...)...)
+	}
+}
+
+// optimalPartition finds the contiguous block partition with minimal modeled
+// DRAM traffic by dynamic programming over prefixes. This is equivalent to
+// the paper's exhaustive grouping search (footnote 1), which improved on the
+// greedy optimizer by roughly 1%.
+func optimalPartition(net *graph.Network, opts Options) []Group {
+	n := len(net.Blocks)
+	cache := newCostCache(net, opts)
+	const inf = int64(1) << 62
+	best := make([]int64, n+1) // best[i] = min cost of blocks [0,i)
+	cut := make([]int, n+1)    // cut[i] = start of the last group in the optimum
+	for i := 1; i <= n; i++ {
+		best[i] = inf
+		for j := 0; j < i; j++ {
+			if c := best[j] + cache.cost(j, i-1); c < best[i] {
+				best[i] = c
+				cut[i] = j
+			}
+		}
+	}
+	var groups []Group
+	for i := n; i > 0; i = cut[i] {
+		groups = append([]Group{groupOver(net, opts, cut[i], i-1)}, groups...)
+	}
+	return groups
+}

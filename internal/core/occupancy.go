@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// OccupancyReport is the result of replaying a schedule through the
+// buffer-occupancy checker.
+type OccupancyReport struct {
+	// PeakBytes is the largest on-chip residency observed at any point of
+	// the forward replay.
+	PeakBytes int64
+	// PeakAt names the op at which the peak occurred.
+	PeakAt string
+	// Violations lists ops whose residency exceeded the buffer.
+	Violations []string
+}
+
+// OK reports whether the schedule never overflows the buffer.
+func (r *OccupancyReport) OK() bool { return len(r.Violations) == 0 }
+
+// CheckOccupancy replays a serialized schedule's forward pass with an
+// explicit residency ledger and verifies the defining MBS invariant: at no
+// point does the sub-batch's live on-chip data exceed the global buffer.
+//
+// This is an independent check of the scheduler's footprint algebra
+// (graph.FootprintPerSample and the Eq. 1/Eq. 2 provisioning): the replay
+// allocates and frees tensors op by op — layer inputs/outputs, the block
+// input held for pending branches, and merge operands held until consumed —
+// rather than trusting the closed-form max. Non-serialized configurations
+// are replayed with residency only for the tensors the traffic model would
+// keep on chip (none for Baseline/ArchOpt).
+func CheckOccupancy(s *Schedule) *OccupancyReport {
+	rep := &OccupancyReport{}
+	if !s.Opts.Config.Serialized() {
+		return rep // nothing is provisioned on chip across ops
+	}
+	branchReuse := s.Opts.Config.BranchReuse()
+	for _, g := range s.Groups {
+		sub := int64(g.SubBatch)
+		for bi := g.First; bi <= g.Last; bi++ {
+			replayBlock(rep, s.Net.Blocks[bi], sub, branchReuse, s.Opts.BufferBytes)
+		}
+	}
+	return rep
+}
+
+// replayBlock walks one block's forward ops, tracking residency with the
+// same fusion and shared-data provisioning rules the scheduler's footprint
+// algebra (graph.FootprintPerSample / Eq. 1 / Eq. 2) encodes:
+//
+//   - norm/act layers are streaming in-place passes over their producer's
+//     resident output (they belong to the producer's fused unit);
+//   - under Eq. 1 (residual, branch reuse) the block input stays resident
+//     through the main branch's later units, and the main branch's output
+//     stays resident through the shortcut branch;
+//   - under Eq. 2 (inception, branch reuse) the block input stays resident
+//     for every unit after a branch's first, and the shared concat output
+//     buffer is resident for every unit before a branch's last.
+func replayBlock(rep *OccupancyReport, b *graph.Block, sub int64, branchReuse bool, budget int64) {
+	blockIn := sub * b.In.Bytes()
+	blockOut := sub * b.Out.Bytes()
+	mergeBytes := sub * mergeShapeOf(b).Bytes()
+	record := func(name string, resident int64) {
+		if resident > rep.PeakBytes {
+			rep.PeakBytes = resident
+			rep.PeakAt = name
+		}
+		if resident > budget {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("%s: %d bytes > %d budget", name, resident, budget))
+		}
+	}
+
+	for brIdx, br := range b.Branches {
+		if len(br.Layers) == 0 {
+			// Identity shortcut: the block input (its output) plus the
+			// pending merge operand are resident.
+			if branchReuse && b.IsMultiBranch() {
+				record(b.Name+"/identity", blockIn+mergeBytes)
+			}
+			continue
+		}
+		// Unit indices: a unit starts at each non-fused layer.
+		unitOf := make([]int, len(br.Layers))
+		unit := -1
+		for li, l := range br.Layers {
+			if !(l.Kind == graph.Norm || l.Kind == graph.Act) || unit < 0 {
+				unit++
+			}
+			unitOf[li] = unit
+		}
+		lastUnit := unit
+
+		for li, l := range br.Layers {
+			fused := (l.Kind == graph.Norm || l.Kind == graph.Act) && li > 0
+			in := sub * l.In.Bytes()
+			out := sub * l.Out.Bytes()
+			resident := in + out
+			if fused {
+				resident = in // in-place pass over the resident tensor
+			}
+			if branchReuse && b.IsMultiBranch() {
+				switch b.Merge {
+				case graph.MergeAdd:
+					// Eq. 1: main branch (b=1) holds the block input past
+					// its first unit; other branches hold the pending merge
+					// operand.
+					if brIdx == 0 && unitOf[li] != 0 {
+						resident += blockIn
+					}
+					if brIdx != 0 {
+						resident += mergeBytes
+					}
+				case graph.MergeConcat:
+					// Eq. 2: the block input is held past each branch's
+					// first unit; the shared concat output before the last.
+					if unitOf[li] != 0 {
+						resident += blockIn
+					}
+					if unitOf[li] != lastUnit {
+						resident += blockOut
+					}
+				}
+			}
+			record(fmt.Sprintf("%s/%s", b.Name, l.Name), resident)
+		}
+	}
+
+	// The merge holds its operands.
+	if b.Merge == graph.MergeAdd {
+		record(b.Name+"/merge", 2*mergeBytes)
+	}
+	for _, l := range b.Post {
+		// Post layers are streaming passes over the merge result.
+		record(fmt.Sprintf("%s/%s", b.Name, l.Name), sub*l.In.Bytes())
+	}
+}

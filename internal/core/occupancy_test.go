@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestOccupancyAllNetworksAllMBSConfigs(t *testing.T) {
+	// The MBS invariant, checked by independent replay: no point of any
+	// serialized schedule exceeds the buffer.
+	for _, name := range models.Names() {
+		net, _ := models.Build(name)
+		batch := models.DefaultBatch(name)
+		for _, cfg := range []Config{MBSFS, MBS1, MBS2} {
+			s := MustPlan(net, DefaultOptions(cfg, batch))
+			rep := CheckOccupancy(s)
+			if !rep.OK() {
+				t.Errorf("%s/%v: %d violations, first: %s",
+					name, cfg, len(rep.Violations), rep.Violations[0])
+			}
+			if rep.PeakBytes <= 0 || rep.PeakBytes > DefaultBufferBytes {
+				t.Errorf("%s/%v: peak %d out of range", name, cfg, rep.PeakBytes)
+			}
+		}
+	}
+}
+
+func TestOccupancySmallBuffers(t *testing.T) {
+	// The invariant must also hold at the Fig. 11 sweep's smallest buffer.
+	net, _ := models.Build("resnet50")
+	for _, mib := range []int64{5, 10, 20, 40} {
+		opts := DefaultOptions(MBS2, 32)
+		opts.BufferBytes = mib << 20
+		s := MustPlan(net, opts)
+		rep := CheckOccupancy(s)
+		if !rep.OK() {
+			t.Errorf("%dMiB: %v", mib, rep.Violations[0])
+		}
+	}
+}
+
+func TestOccupancyPeakNearBudget(t *testing.T) {
+	// The scheduler should not be wildly conservative: the peak residency
+	// should use a meaningful fraction of the buffer (otherwise sub-batch
+	// sizes are too small and reuse is being left on the table).
+	net, _ := models.Build("resnet50")
+	s := MustPlan(net, DefaultOptions(MBS1, 32))
+	rep := CheckOccupancy(s)
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if frac := float64(rep.PeakBytes) / float64(DefaultBufferBytes); frac < 0.5 {
+		t.Errorf("peak uses only %.0f%% of the buffer — scheduler too conservative", frac*100)
+	}
+	if rep.PeakAt == "" {
+		t.Error("peak location not recorded")
+	}
+}
+
+func TestOccupancyNonSerializedIsTrivial(t *testing.T) {
+	net, _ := models.Build("alexnet")
+	s := MustPlan(net, DefaultOptions(Baseline, 64))
+	rep := CheckOccupancy(s)
+	if !rep.OK() || rep.PeakBytes != 0 {
+		t.Errorf("baseline replay should be empty, got %+v", rep)
+	}
+}
+
+func TestOccupancyDetectsOverflow(t *testing.T) {
+	// Force a broken schedule (sub-batch far beyond what fits) and confirm
+	// the checker flags it: this guards the checker itself.
+	net, _ := models.Build("resnet50")
+	opts := DefaultOptions(MBS2, 32)
+	s := MustPlan(net, opts)
+	// Corrupt the first group's sub-batch.
+	s.Groups[0].SubBatch = 32
+	s.Groups[0].Iterations = 1
+	rep := CheckOccupancy(s)
+	if rep.OK() {
+		t.Error("checker failed to detect an oversized sub-batch")
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+// TestTrafficScalesWithBatch: feature traffic grows with the mini-batch
+// while per-group weight traffic grows at most with the iteration count —
+// so serialized configurations' traffic is monotone but sublinear in batch
+// for weight-heavy nets and ~linear for feature-heavy ones. The invariant
+// pinned here is plain monotonicity for every config.
+func TestTrafficScalesWithBatch(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	for _, cfg := range Configs {
+		var prev int64
+		for _, batch := range []int{8, 16, 32, 64} {
+			d := ComputeTraffic(MustPlan(net, DefaultOptions(cfg, batch))).TotalDRAM()
+			if d <= prev {
+				t.Errorf("%v: traffic not increasing in batch (%d at batch, prev %d)", cfg, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestBaselineTrafficLinearInBatch: with no reuse and single iterations,
+// the feature traffic component is exactly linear; weights are constant.
+// Doubling the batch must less-than-double total traffic (weights are
+// amortized) but more-than-double minus the weight bytes.
+func TestBaselineTrafficLinearInBatch(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	// A 1 KiB buffer removes the batch-dependent intra-layer reuse of norm
+	// layers (which otherwise fits small batches but not large ones).
+	opt32 := Options{Config: Baseline, Batch: 32, BufferBytes: 1 << 10}
+	opt64 := Options{Config: Baseline, Batch: 64, BufferBytes: 1 << 10}
+	d32 := ComputeTraffic(MustPlan(net, opt32)).TotalDRAM()
+	d64 := ComputeTraffic(MustPlan(net, opt64)).TotalDRAM()
+	// Weight traffic in the baseline: conv/FC weights move three times
+	// (fwd read, data-gradient read, weight-gradient write); norm
+	// parameters twice (fwd read, gradient write). All batch independent.
+	var w int64
+	for i, l := range net.Layers() {
+		switch l.Kind {
+		case graph.Conv, graph.FC:
+			w += 3 * l.ParamBytes()
+			if i == 0 {
+				// The first conv has no data-gradient GEMM, so its weights
+				// move only twice.
+				w -= l.ParamBytes()
+			}
+		case graph.Norm:
+			w += 2 * l.ParamBytes()
+		}
+	}
+	feat32 := d32 - w
+	feat64 := d64 - w
+	if feat64 != 2*feat32 {
+		t.Errorf("feature traffic not linear: %d vs 2x%d", feat64, feat32)
+	}
+}
+
+// TestSubBatchNeverExceedsNeeded: no group uses a smaller sub-batch than
+// the largest one that fits all its blocks (the scheduler must not leave
+// reuse on the table within a chosen partition).
+func TestSubBatchNeverExceedsNeeded(t *testing.T) {
+	for _, name := range models.Names() {
+		net, _ := models.Build(name)
+		batch := models.DefaultBatch(name)
+		for _, cfg := range []Config{MBS1, MBS2} {
+			s := MustPlan(net, DefaultOptions(cfg, batch))
+			for _, g := range s.Groups {
+				want := groupOver(net, s.Opts, g.First, g.Last)
+				if g.SubBatch != want.SubBatch {
+					t.Errorf("%s/%v: group %+v sub-batch %d, max feasible %d",
+						name, cfg, g, g.SubBatch, want.SubBatch)
+				}
+			}
+		}
+	}
+}
+
+// TestEq1AtLeastPerLayerFootprint: for random residual blocks, the Eq. 1
+// branch-reuse footprint never undercuts the per-layer minimum and always
+// covers the merge working set.
+func TestEq1AtLeastPerLayerFootprint(t *testing.T) {
+	f := func(cIn8, cMid8, hw8 uint8) bool {
+		cIn := (int(cIn8%8) + 1) * 8
+		cMid := (int(cMid8%8) + 1) * 4
+		hw := int(hw8%12) + 4
+		in := graph.Shape{C: cIn, H: hw, W: hw}
+		c1 := graph.NewConvSquare("c1", in, cMid, 1, 1, 0)
+		c2 := graph.NewConvSquare("c2", c1.Out, cIn, 3, 1, 1)
+		b := graph.NewResidualBlock("b", in, []*graph.Layer{c1, c2}, nil,
+			graph.NewAct("relu", c2.Out))
+		reuse := b.FootprintPerSample(true)
+		plain := b.FootprintPerSample(false)
+		mergeSet := 2 * in.Bytes()
+		return reuse >= plain && reuse >= mergeSet && plain > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanDeterministic: planning is a pure function of its inputs.
+func TestPlanDeterministic(t *testing.T) {
+	net, _ := models.Build("inceptionv3")
+	a := MustPlan(net, DefaultOptions(MBS2, 32))
+	b := MustPlan(net, DefaultOptions(MBS2, 32))
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatal("group counts differ")
+	}
+	for i := range a.Groups {
+		if a.Groups[i] != b.Groups[i] {
+			t.Errorf("group %d differs: %+v vs %+v", i, a.Groups[i], b.Groups[i])
+		}
+	}
+}
+
+// TestBufferGrowthNeverHurtsMBS: a strictly larger buffer can only keep
+// sub-batches the same or grow them, so per-group iteration counts are
+// non-increasing in buffer size for a fixed partition policy.
+func TestBufferGrowthNeverHurtsMBS(t *testing.T) {
+	net, _ := models.Build("resnet152")
+	var prevMax int
+	for i, mib := range []int64{5, 8, 10, 16, 24, 40} {
+		opts := DefaultOptions(MBS2, 32)
+		opts.BufferBytes = mib << 20
+		s := MustPlan(net, opts)
+		if i > 0 && s.MaxIterations() > prevMax {
+			t.Errorf("%dMiB: max iterations grew to %d (was %d)", mib, s.MaxIterations(), prevMax)
+		}
+		prevMax = s.MaxIterations()
+	}
+}
+
+// TestOccupancyHoldsForRandomBuffers pairs the planner with the replay
+// checker across a randomized buffer range — a fuzz of the MBS invariant.
+func TestOccupancyHoldsForRandomBuffers(t *testing.T) {
+	net, _ := models.Build("inceptionv4")
+	f := func(raw uint16) bool {
+		mib := int64(raw%36) + 5 // 5..40 MiB
+		opts := DefaultOptions(MBS2, 32)
+		opts.BufferBytes = mib << 20
+		s := MustPlan(net, opts)
+		return CheckOccupancy(s).OK()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGEMMItemsCoverAllConvFC: every conv/FC layer appears in the ledger
+// with a forward and a weight-gradient entry (and a data-gradient entry
+// except for the first layer).
+func TestGEMMItemsCoverAllConvFC(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	tr := ComputeTraffic(MustPlan(net, DefaultOptions(MBS2, 32)))
+	fwd := map[string]bool{}
+	wgrad := map[string]bool{}
+	dgrad := map[string]bool{}
+	for i := range tr.Items {
+		it := &tr.Items[i]
+		if it.Layer == nil || !it.Layer.IsGEMM() {
+			continue
+		}
+		switch it.Phase {
+		case PhaseFwd:
+			fwd[it.Name] = true
+		case PhaseBwdWeight:
+			wgrad[it.Name] = true
+		case PhaseBwdData:
+			dgrad[it.Name] = true
+		}
+	}
+	for _, l := range net.Layers() {
+		if !l.IsGEMM() {
+			continue
+		}
+		if !fwd[l.Name] {
+			t.Errorf("%s missing forward entry", l.Name)
+		}
+		if !wgrad[l.Name] {
+			t.Errorf("%s missing weight-gradient entry", l.Name)
+		}
+		if l.Name != "conv1_conv" && !dgrad[l.Name] {
+			t.Errorf("%s missing data-gradient entry", l.Name)
+		}
+	}
+	if dgrad["conv1_conv"] {
+		t.Error("first conv must not have a data-gradient entry")
+	}
+}

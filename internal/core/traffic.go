@@ -1,0 +1,703 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Phase labels one accounted operation of a training step.
+type Phase int
+
+const (
+	// PhaseFwd is a layer's forward pass.
+	PhaseFwd Phase = iota
+	// PhaseBwd is the backward pass of a vector (non-GEMM) layer.
+	PhaseBwd
+	// PhaseBwdData is the data-gradient GEMM of a conv/FC layer.
+	PhaseBwdData
+	// PhaseBwdWeight is the weight-gradient GEMM of a conv/FC layer.
+	PhaseBwdWeight
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseFwd:
+		return "fwd"
+	case PhaseBwd:
+		return "bwd"
+	case PhaseBwdData:
+		return "bwd-data"
+	case PhaseBwdWeight:
+		return "bwd-weight"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Item is the traffic ledger entry for one operation (one layer in one
+// phase, or a synthetic merge/split op). Byte counts cover the whole
+// mini-batch, i.e. all sub-batch iterations of the item's group.
+type Item struct {
+	Name  string
+	Kind  graph.LayerKind
+	Layer *graph.Layer // nil for synthetic merge/split-sum ops
+	Block int          // index into Net.Blocks
+	Group int          // index into Schedule.Groups
+	Phase Phase
+
+	Batch      int
+	SubBatch   int
+	Iterations int
+
+	DRAMRead  int64
+	DRAMWrite int64
+	GBRead    int64
+	GBWrite   int64
+}
+
+// DRAM returns the item's total off-chip traffic.
+func (it *Item) DRAM() int64 { return it.DRAMRead + it.DRAMWrite }
+
+// GB returns the item's total global-buffer traffic.
+func (it *Item) GB() int64 { return it.GBRead + it.GBWrite }
+
+// Traffic is the complete per-step traffic ledger of a schedule.
+type Traffic struct {
+	Schedule *Schedule
+	Items    []Item
+}
+
+// TotalDRAM returns the per-step off-chip traffic in bytes.
+func (t *Traffic) TotalDRAM() int64 {
+	var s int64
+	for i := range t.Items {
+		s += t.Items[i].DRAM()
+	}
+	return s
+}
+
+// TotalGB returns the per-step global-buffer traffic in bytes.
+func (t *Traffic) TotalGB() int64 {
+	var s int64
+	for i := range t.Items {
+		s += t.Items[i].GB()
+	}
+	return s
+}
+
+// DRAMByKind returns per-layer-kind off-chip traffic.
+func (t *Traffic) DRAMByKind() map[graph.LayerKind]int64 {
+	out := make(map[graph.LayerKind]int64)
+	for i := range t.Items {
+		out[t.Items[i].Kind] += t.Items[i].DRAM()
+	}
+	return out
+}
+
+// String summarizes the ledger.
+func (t *Traffic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic %s/%s: DRAM %.1f MB, GB %.1f MB\n",
+		t.Schedule.Net.Name, t.Schedule.Opts.Config,
+		float64(t.TotalDRAM())/1e6, float64(t.TotalGB())/1e6)
+	kinds := t.DRAMByKind()
+	keys := make([]int, 0, len(kinds))
+	for k := range kinds {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-7s %.1f MB\n", graph.LayerKind(k), float64(kinds[graph.LayerKind(k)])/1e6)
+	}
+	return b.String()
+}
+
+// reuseMode captures how tensors may stay on chip between producer and
+// consumer.
+type reuseMode int
+
+const (
+	reuseNone  reuseMode = iota // Baseline / ArchOpt
+	reuseFit                    // IL: only when the full-mini-batch footprint fits
+	reuseGroup                  // MBS: always within a group
+)
+
+func modeFor(c Config) reuseMode {
+	switch {
+	case c.Serialized():
+		return reuseGroup
+	case c == IL:
+		return reuseFit
+	default:
+		return reuseNone
+	}
+}
+
+// stashClass says what a tensor must leave in DRAM for back propagation.
+type stashClass int
+
+const (
+	stashNone stashClass = iota
+	stashFull
+)
+
+// stashOf classifies the stash requirement of a tensor by its consumer:
+// conv/FC need their inputs for weight gradients, norm layers re-read their
+// inputs for parameter and data gradients, and max pooling needs its input
+// to locate window maxima. Activations and merges do not stash their inputs
+// (ReLU gradients come from the output sign or the 1-bit mask).
+func stashOf(consumer *graph.Layer) stashClass {
+	if consumer == nil {
+		return stashNone
+	}
+	switch consumer.Kind {
+	case graph.Conv, graph.FC, graph.Norm, graph.Pool:
+		return stashFull
+	default:
+		return stashNone
+	}
+}
+
+// ComputeTraffic builds the full per-step traffic ledger for a schedule.
+// The model follows the paper's Fig. 2 dataflow:
+//
+//   - Forward: each layer reads its input (twice for normalization layers
+//     when it does not fit on chip), reads its weights once per sub-batch
+//     iteration, writes its output to DRAM when the output must be stashed
+//     for back propagation or when the consumer cannot keep it on chip.
+//     Under MBS, ReLU layers additionally write a 1-bit-per-element gradient
+//     mask; conventionally the full activation serves that role.
+//   - Backward: loss gradients are read once per use when off chip (twice
+//     per convolution: data and weight gradients), stashed tensors are
+//     re-loaded from DRAM, weights are re-read per iteration, and weight
+//     gradients are accumulated across sub-batch iterations as partial sums
+//     (T writes and T−1 reads of the parameter size).
+//
+// Every logical read/write also counts as global-buffer traffic, whether or
+// not it touches DRAM.
+func ComputeTraffic(s *Schedule) *Traffic {
+	w := &walker{s: s, mode: modeFor(s.Opts.Config)}
+	for gi := range s.Groups {
+		w.forwardGroup(gi)
+	}
+	for gi := len(s.Groups) - 1; gi >= 0; gi-- {
+		w.backwardGroup(gi)
+	}
+	return &Traffic{Schedule: s, Items: w.items}
+}
+
+type walker struct {
+	s     *Schedule
+	mode  reuseMode
+	items []Item
+}
+
+func (w *walker) batch() int64 { return int64(w.s.Opts.Batch) }
+
+// layerFits reports whether a layer's full-mini-batch working set fits in
+// the buffer (the IL criterion).
+func (w *walker) layerFits(l *graph.Layer) bool {
+	return w.batch()*l.InterLayerBytes() <= w.s.Opts.BufferBytes
+}
+
+// blockFits reports whether a block's full-mini-batch branch-reuse working
+// set fits (IL criterion for multi-branch sharing).
+func (w *walker) blockFits(b *graph.Block) bool {
+	return w.batch()*b.FootprintPerSample(true) <= w.s.Opts.BufferBytes
+}
+
+// chainOnChip decides whether the tensor between producer and consumer
+// layers (both inside block range [first,last] of the active group when
+// sameGroup) stays on chip.
+func (w *walker) chainOnChip(producer, consumer *graph.Layer, sameGroup bool) bool {
+	switch w.mode {
+	case reuseGroup:
+		return sameGroup
+	case reuseFit:
+		if producer == nil || consumer == nil {
+			return false
+		}
+		return w.layerFits(producer) && w.layerFits(consumer)
+	default:
+		return false
+	}
+}
+
+// sharedOnChip decides whether block-level shared data (the block input for
+// later branches, or pending merge operands) stays on chip.
+func (w *walker) sharedOnChip(b *graph.Block) bool {
+	switch w.mode {
+	case reuseGroup:
+		return w.s.Opts.Config.BranchReuse()
+	case reuseFit:
+		return w.blockFits(b)
+	default:
+		return false
+	}
+}
+
+// immediateOnChip decides whether a tensor just produced can be held for an
+// immediately-following use by the same or the adjacent op (no group
+// crossing involved).
+func (w *walker) immediateOnChip(l *graph.Layer) bool {
+	switch w.mode {
+	case reuseGroup:
+		return true
+	case reuseFit:
+		return l != nil && w.layerFits(l)
+	default:
+		return false
+	}
+}
+
+// blockImmediateOnChip is immediateOnChip at block granularity (merge
+// operands produced moments before the merge).
+func (w *walker) blockImmediateOnChip(b *graph.Block) bool {
+	switch w.mode {
+	case reuseGroup:
+		return true
+	case reuseFit:
+		return w.blockFits(b)
+	default:
+		return false
+	}
+}
+
+func (w *walker) item(name string, kind graph.LayerKind, l *graph.Layer, block, group int, phase Phase) *Item {
+	g := w.s.Groups[group]
+	w.items = append(w.items, Item{
+		Name: name, Kind: kind, Layer: l, Block: block, Group: group, Phase: phase,
+		Batch: w.s.Opts.Batch, SubBatch: g.SubBatch, Iterations: g.Iterations,
+	})
+	return &w.items[len(w.items)-1]
+}
+
+// read charges a logical read; off-chip reads also hit DRAM.
+func (it *Item) read(bytes int64, offChip bool) {
+	it.GBRead += bytes
+	if offChip {
+		it.DRAMRead += bytes
+	}
+}
+
+// write charges a logical write; off-chip writes also hit DRAM.
+func (it *Item) write(bytes int64, offChip bool) {
+	it.GBWrite += bytes
+	if offChip {
+		it.DRAMWrite += bytes
+	}
+}
+
+// maskBytes is the 1-bit-per-element ReLU gradient mask size for n samples
+// of shape sh.
+func maskBytes(n int64, sh graph.Shape) int64 {
+	return n * ((sh.Elems() + 7) / 8)
+}
+
+// consumerOf returns the layer that consumes the output of branch layer li
+// within the same branch, or nil if it is the branch's last layer.
+func consumerInBranch(br *graph.Branch, li int) *graph.Layer {
+	if li+1 < len(br.Layers) {
+		return br.Layers[li+1]
+	}
+	return nil
+}
+
+// firstLayerOf returns the first explicit layer of a block (first branch,
+// falling back to post layers for pathological blocks).
+func firstLayerOf(b *graph.Block) *graph.Layer {
+	for _, br := range b.Branches {
+		if len(br.Layers) > 0 {
+			return br.Layers[0]
+		}
+	}
+	if len(b.Post) > 0 {
+		return b.Post[0]
+	}
+	return nil
+}
+
+// lastLayerOf returns the last explicit layer of a block.
+func lastLayerOf(b *graph.Block) *graph.Layer {
+	if len(b.Post) > 0 {
+		return b.Post[len(b.Post)-1]
+	}
+	lb := b.Branches[len(b.Branches)-1]
+	if len(lb.Layers) > 0 {
+		return lb.Layers[len(lb.Layers)-1]
+	}
+	for i := len(b.Branches) - 2; i >= 0; i-- {
+		if n := len(b.Branches[i].Layers); n > 0 {
+			return b.Branches[i].Layers[n-1]
+		}
+	}
+	return nil
+}
+
+// blockOutputConsumer returns the first layer of the next block, or nil at
+// the end of the network.
+func (w *walker) blockOutputConsumer(bi int) *graph.Layer {
+	if bi+1 < len(w.s.Net.Blocks) {
+		return firstLayerOf(w.s.Net.Blocks[bi+1])
+	}
+	return nil
+}
+
+// --- Forward pass -----------------------------------------------------------
+
+func (w *walker) forwardGroup(gi int) {
+	g := w.s.Groups[gi]
+	for bi := g.First; bi <= g.Last; bi++ {
+		w.forwardBlock(gi, bi)
+	}
+}
+
+func (w *walker) forwardBlock(gi, bi int) {
+	g := w.s.Groups[gi]
+	b := w.s.Net.Blocks[bi]
+	batch := w.batch()
+	reluMask := w.s.Opts.reluMask()
+
+	// Is the block's input resident (produced by the previous block within
+	// the same reuse scope)?
+	var blockInResident bool
+	if bi == 0 {
+		blockInResident = false // network input comes from DRAM
+	} else {
+		prev := lastLayerOf(w.s.Net.Blocks[bi-1])
+		blockInResident = w.chainOnChip(prev, firstLayerOf(b), bi > g.First)
+	}
+
+	for brIdx, br := range b.Branches {
+		// Residency of the block input for this branch: the first branch
+		// sees whatever the previous block left; later branches need the
+		// shared-data provision (MBS2 / IL-fit).
+		branchInResident := blockInResident
+		if brIdx > 0 {
+			branchInResident = w.sharedOnChip(b)
+		}
+		prevResident := branchInResident
+		for li, l := range br.Layers {
+			consumer := consumerInBranch(br, li)
+			isBranchLast := consumer == nil
+			var outResident bool
+			switch {
+			case !isBranchLast:
+				outResident = w.chainOnChip(l, consumer, true)
+			case b.Merge == graph.MergeNone:
+				// Single-branch block: the branch output is the block output.
+				consumer = w.blockOutputConsumer(bi)
+				outResident = w.chainOnChip(l, consumer, bi < g.Last)
+			case b.Merge == graph.MergeConcat:
+				// Concat branches write directly into the block output
+				// tensor; the write decision is the block output's.
+				consumer = w.blockOutputConsumer(bi)
+				outResident = w.chainOnChip(l, consumer, bi < g.Last) ||
+					(len(b.Post) > 0 && w.chainOnChip(l, b.Post[0], true))
+				if len(b.Post) > 0 {
+					consumer = b.Post[0]
+				}
+			default: // MergeAdd operand
+				// The last branch's output feeds the merge immediately
+				// (still resident); earlier branches' outputs must wait and
+				// need the shared-data provision.
+				if brIdx == len(b.Branches)-1 {
+					outResident = w.blockImmediateOnChip(b)
+				} else {
+					outResident = w.sharedOnChip(b)
+				}
+				consumer = nil // merge consumes; Add needs no stash
+			}
+			w.forwardLayer(gi, bi, l, batch, prevResident, outResident, consumer, reluMask)
+			prevResident = outResident
+		}
+	}
+
+	// Implicit merge op.
+	var mergeOutResident bool
+	if b.Merge == graph.MergeAdd {
+		it := w.item(b.Name+"_merge", graph.Add, nil, bi, gi, PhaseFwd)
+		ms := b.Post
+		var mergeConsumer *graph.Layer
+		if len(ms) > 0 {
+			mergeConsumer = ms[0]
+		} else {
+			mergeConsumer = w.blockOutputConsumer(bi)
+		}
+		mergeBytes := batch * mergeShapeOf(b).Bytes()
+		// Operand 1: last branch output, produced moments earlier.
+		it.read(mergeBytes, !w.blockImmediateOnChip(b))
+		// Operand 2: earlier branch output — needs the shared provision.
+		it.read(mergeBytes, !w.sharedOnChip(b))
+		if len(b.Post) > 0 {
+			mergeOutResident = w.chainOnChip(firstLayerOf(b), mergeConsumer, true) // same-block chain
+		} else {
+			mergeOutResident = w.chainOnChip(lastLayerOf(b), w.blockOutputConsumer(bi), bi < g.Last)
+		}
+		// The merge output's stash need is its consumer's.
+		needStash := stashOf(mergeConsumer) == stashFull
+		it.write(mergeBytes, needStash || !mergeOutResident)
+	}
+
+	// Post-merge layers.
+	prevResident := mergeOutResident
+	for pi, l := range b.Post {
+		var consumer *graph.Layer
+		var outResident bool
+		if pi+1 < len(b.Post) {
+			consumer = b.Post[pi+1]
+			outResident = w.chainOnChip(l, consumer, true)
+		} else {
+			consumer = w.blockOutputConsumer(bi)
+			outResident = w.chainOnChip(l, consumer, bi < g.Last)
+		}
+		w.forwardLayer(gi, bi, l, batch, prevResident, outResident, consumer, reluMask)
+		prevResident = outResident
+	}
+}
+
+func mergeShapeOf(b *graph.Block) graph.Shape {
+	if len(b.Post) > 0 {
+		return b.Post[0].In
+	}
+	return b.Out
+}
+
+// forwardLayer charges one layer's forward traffic.
+func (w *walker) forwardLayer(gi, bi int, l *graph.Layer, batch int64,
+	inResident, outResident bool, consumer *graph.Layer, reluMask bool) {
+
+	g := w.s.Groups[gi]
+	it := w.item(l.Name, l.Kind, l, bi, gi, PhaseFwd)
+	inBytes := batch * l.In.Bytes()
+	outBytes := batch * l.Out.Bytes()
+
+	// Input reads. Normalization layers pass over their input twice; the
+	// second pass hits DRAM only when the layer cannot hold its input on
+	// chip for the whole mini-batch (conventional training) — under MBS the
+	// sub-batch is sized to fit.
+	it.read(inBytes, !inResident)
+	if l.Kind == graph.Norm {
+		secondOffChip := !inResident && w.mode != reuseGroup && !w.layerFits(l)
+		it.read(inBytes, secondOffChip)
+	}
+
+	// Weights: re-read once per sub-batch iteration of the group.
+	if p := l.ParamBytes(); p > 0 {
+		it.read(p*int64(g.Iterations), true)
+	}
+
+	// Output write: stash requirement or eviction.
+	needStash := stashOf(consumer) == stashFull
+	if l.Kind == graph.Act && !reluMask {
+		// Conventional flow: the activation output must be recoverable in
+		// backward for the ReLU derivative, so it is stashed even when its
+		// consumer would not otherwise require it.
+		needStash = true
+	}
+	it.write(outBytes, needStash || !outResident)
+
+	// MBS stashes the 1-bit ReLU gradient mask instead.
+	if l.Kind == graph.Act && reluMask {
+		it.write(maskBytes(batch, l.Out), true)
+	}
+}
+
+// --- Backward pass ----------------------------------------------------------
+
+func (w *walker) backwardGroup(gi int) {
+	g := w.s.Groups[gi]
+	for bi := g.Last; bi >= g.First; bi-- {
+		w.backwardBlock(gi, bi)
+	}
+}
+
+func (w *walker) backwardBlock(gi, bi int) {
+	g := w.s.Groups[gi]
+	b := w.s.Net.Blocks[bi]
+	batch := w.batch()
+
+	// Gradient residency of the block output (produced by the next block's
+	// backward pass).
+	var blockOutGradResident bool
+	if bi == len(w.s.Net.Blocks)-1 {
+		blockOutGradResident = false // loss gradient arrives from DRAM
+	} else {
+		next := firstLayerOf(w.s.Net.Blocks[bi+1])
+		blockOutGradResident = w.chainOnChip(lastLayerOf(b), next, bi < g.Last)
+	}
+
+	// Post-merge layers, reversed.
+	prevResident := blockOutGradResident
+	for pi := len(b.Post) - 1; pi >= 0; pi-- {
+		l := b.Post[pi]
+		inResident := w.immediateOnChip(l) // gradient stays for the next op in this block
+		if pi == 0 && b.Merge == graph.MergeNone {
+			inResident = prevResident
+		}
+		w.backwardLayer(gi, bi, l, batch, prevResident, inResident)
+		prevResident = inResident
+	}
+
+	// The merge gradient (for Add: identical tensor fanned out to every
+	// branch; for Concat: sliced per branch). No compute op; reads are
+	// charged at each branch's last layer below.
+	mergeGradResident := prevResident
+
+	for brIdx := len(b.Branches) - 1; brIdx >= 0; brIdx-- {
+		br := b.Branches[brIdx]
+		for li := len(br.Layers) - 1; li >= 0; li-- {
+			l := br.Layers[li]
+			var gOutResident bool
+			if li == len(br.Layers)-1 {
+				// Branch-last layer: its output gradient is the merge
+				// gradient (Add: full tensor; Concat: this branch's slice)
+				// or, in a single-branch block, the block-output gradient.
+				if b.Merge == graph.MergeNone {
+					gOutResident = mergeGradResident
+				} else if brIdx == len(b.Branches)-1 {
+					gOutResident = mergeGradResident
+				} else {
+					// Earlier branches consume the merge gradient later;
+					// holding it needs the shared provision.
+					gOutResident = w.sharedOnChip(b)
+				}
+			} else {
+				gOutResident = w.chainOnChip(l, br.Layers[li+1], true)
+			}
+			// Gradient of the layer's input: consumed by the upstream
+			// layer's backward within this branch/block, or crosses to the
+			// previous block.
+			// The network's first layer needs no data gradient at all:
+			// dL/d(input image) is never used, so frameworks and the paper's
+			// flow skip that GEMM entirely.
+			if bi == 0 && brIdx == 0 && li == 0 && l.IsGEMM() {
+				w.backwardWeightOnly(gi, bi, l, batch, gOutResident)
+				continue
+			}
+			var gInResident bool
+			switch {
+			case li > 0:
+				gInResident = w.chainOnChip(br.Layers[li-1], l, true)
+			case bi == 0:
+				gInResident = true // dL/d(input image) is discarded
+			case b.IsMultiBranch():
+				// Branch-first layers feed the split-point sum.
+				gInResident = w.sharedOnChip(b) || (w.mode == reuseGroup && len(b.Branches) == 1)
+			default:
+				prev := lastLayerOf(w.s.Net.Blocks[bi-1])
+				gInResident = w.chainOnChip(prev, l, bi > g.First)
+			}
+			w.backwardLayer(gi, bi, l, batch, gOutResident, gInResident)
+		}
+	}
+
+	// Split-point gradient sum for residual blocks: dL/d(block input) is the
+	// sum of the branch input-gradients. Identity shortcuts contribute the
+	// merge gradient directly.
+	if b.Merge == graph.MergeAdd {
+		it := w.item(b.Name+"_splitsum", graph.Add, nil, bi, gi, PhaseBwd)
+		inBytes := batch * b.In.Bytes()
+		shared := w.sharedOnChip(b)
+		// First operand (produced most recently) is resident whenever the
+		// block's working set can be held; the other operand needs the
+		// shared provision.
+		it.read(inBytes, !w.blockImmediateOnChip(b))
+		it.read(inBytes, !shared)
+		// Result crosses to the previous block's backward pass.
+		var outResident bool
+		if bi == 0 {
+			outResident = true
+		} else {
+			prev := lastLayerOf(w.s.Net.Blocks[bi-1])
+			outResident = w.chainOnChip(prev, firstLayerOf(b), bi > g.First)
+		}
+		it.write(inBytes, !outResident)
+	}
+}
+
+// backwardWeightOnly charges the weight-gradient GEMM of the network's
+// first layer, whose data-gradient GEMM is skipped.
+func (w *walker) backwardWeightOnly(gi, bi int, l *graph.Layer, batch int64, gOutResident bool) {
+	g := w.s.Groups[gi]
+	T := int64(g.Iterations)
+	wg := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwdWeight)
+	wg.read(batch*l.Out.Bytes(), !gOutResident)
+	wg.read(batch*l.In.Bytes(), true) // the input images
+	wg.write(l.ParamBytes()*T, true)
+	if T > 1 {
+		wg.read(l.ParamBytes()*(T-1), true)
+	}
+}
+
+// backwardLayer charges one layer's backward traffic. gOutResident says
+// whether the gradient w.r.t. the layer's output is already on chip;
+// gInResident whether the produced input-gradient can stay on chip.
+func (w *walker) backwardLayer(gi, bi int, l *graph.Layer, batch int64, gOutResident, gInResident bool) {
+	g := w.s.Groups[gi]
+	T := int64(g.Iterations)
+	outBytes := batch * l.Out.Bytes()
+	inBytes := batch * l.In.Bytes()
+	reluMask := w.s.Opts.reluMask()
+
+	switch l.Kind {
+	case graph.Conv, graph.FC:
+		// Data-gradient GEMM: dL/dz = dL/dx ⊛ W.
+		dg := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwdData)
+		dg.read(outBytes, !gOutResident)
+		dg.read(l.ParamBytes()*T, true)
+		dg.write(inBytes, !gInResident)
+
+		// Weight-gradient GEMM: dL/dW = dL/dx ⊛ z, accumulated across
+		// sub-batch iterations as DRAM-resident partial sums.
+		wg := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwdWeight)
+		// Second use of the output gradient: free once it has been brought
+		// on chip, a fresh DRAM read otherwise.
+		wg.read(outBytes, !w.immediateOnChip(l))
+		wg.read(inBytes, true) // stashed input activations
+		wg.write(l.ParamBytes()*T, true)
+		if T > 1 {
+			wg.read(l.ParamBytes()*(T-1), true)
+		}
+
+	case graph.Norm:
+		it := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwd)
+		it.read(outBytes, !gOutResident)
+		// Stashed input: used for both parameter gradients and the data
+		// gradient. With reuse it is loaded once; conventionally the two
+		// passes each stream from DRAM.
+		it.read(inBytes, true)
+		secondOffChip := w.mode == reuseNone || (w.mode == reuseFit && !w.layerFits(l))
+		it.read(inBytes, secondOffChip)
+		// Parameter-gradient partial sums (tiny: 2 values per channel).
+		it.write(l.ParamBytes()*T, true)
+		if T > 1 {
+			it.read(l.ParamBytes()*(T-1), true)
+		}
+		it.write(inBytes, !gInResident)
+
+	case graph.Act:
+		it := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwd)
+		it.read(outBytes, !gOutResident)
+		if reluMask {
+			it.read(maskBytes(batch, l.Out), true)
+		} else {
+			it.read(outBytes, true) // stashed activation for the sign
+		}
+		it.write(inBytes, !gInResident)
+
+	case graph.Pool:
+		it := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwd)
+		it.read(outBytes, !gOutResident)
+		it.read(inBytes, true) // stashed input (window argmax / averaging)
+		it.write(inBytes, !gInResident)
+
+	default:
+		it := w.item(l.Name, l.Kind, l, bi, gi, PhaseBwd)
+		it.read(outBytes, !gOutResident)
+		it.write(inBytes, !gInResident)
+	}
+}

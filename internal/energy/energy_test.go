@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{DRAM: 1, GB: 2, Compute: 3, Vector: 4, Static: 5}
+	if b.Total() != 15 {
+		t.Errorf("Total = %f, want 15", b.Total())
+	}
+	if got := b.DRAMFraction(); math.Abs(got-1.0/15) > 1e-12 {
+		t.Errorf("DRAMFraction = %f", got)
+	}
+	if (Breakdown{}).DRAMFraction() != 0 {
+		t.Error("empty breakdown fraction should be 0")
+	}
+}
+
+func TestStepComposition(t *testing.T) {
+	m := DefaultModel()
+	b := m.Step(1e9, 2e9, 1e12, 1e9, 32e-12, 4e-12, 0.1)
+	if b.DRAM != 1e9*32e-12 {
+		t.Errorf("DRAM = %g", b.DRAM)
+	}
+	if b.GB != 2e9*4e-12 {
+		t.Errorf("GB = %g", b.GB)
+	}
+	wantCompute := 1e12 * (1 - m.ZeroSkipFraction) * m.MACEnergy
+	if math.Abs(b.Compute-wantCompute) > 1e-9 {
+		t.Errorf("Compute = %g, want %g", b.Compute, wantCompute)
+	}
+	if b.Static != m.StaticPower*0.1 {
+		t.Errorf("Static = %g", b.Static)
+	}
+}
+
+func TestZeroSkipSavesEnergy(t *testing.T) {
+	with := DefaultModel()
+	without := with.WithoutZeroSkip()
+	bw := with.Step(0, 0, 1e12, 0, 0, 0, 0)
+	bo := without.Step(0, 0, 1e12, 0, 0, 0, 0)
+	if bw.Compute >= bo.Compute {
+		t.Errorf("zero-skip must reduce compute energy: %g vs %g", bw.Compute, bo.Compute)
+	}
+	if with.ZeroSkipFraction == 0 {
+		t.Error("default model should skip some MACs")
+	}
+}
+
+func TestAreaModelTab2(t *testing.T) {
+	a := DefaultAreaModel()
+	// Paper Tab. 2 / Section 4.2 figures.
+	if got := a.PEArrayMM2(); math.Abs(got-199.45) > 0.2 {
+		t.Errorf("PE array = %.2f mm^2, want 199.45", got)
+	}
+	if got := a.TotalMM2(); math.Abs(got-534.0) > 1.0 {
+		t.Errorf("die area = %.1f mm^2, want 534.0", got)
+	}
+	if got := a.TOPS(); math.Abs(got-45.9) > 1.5 {
+		t.Errorf("TOPS = %.1f, want ~45", got)
+	}
+	if got := a.PeakPowerWatts(); math.Abs(got-56) > 2 {
+		t.Errorf("peak power = %.1f W, want 56", got)
+	}
+}
+
+func TestAreaScalesWithCores(t *testing.T) {
+	a := DefaultAreaModel()
+	one := a
+	one.Cores = 1
+	if one.TotalMM2() >= a.TotalMM2() {
+		t.Error("fewer cores must shrink the die")
+	}
+	if one.TOPS() >= a.TOPS() {
+		t.Error("fewer cores must reduce TOPS")
+	}
+}

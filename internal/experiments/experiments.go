@@ -1,0 +1,420 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each function both returns the structured data series
+// and renders the same rows the paper reports, so the cmd binaries, the
+// examples and the benchmark harness all share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// DeepCNNs lists the evaluation networks in the paper's order.
+var DeepCNNs = []string{"resnet50", "resnet101", "resnet152", "inceptionv3", "inceptionv4", "alexnet"}
+
+// plan builds the default schedule for (network, config).
+func plan(name string, cfg core.Config) (*core.Schedule, error) {
+	net, err := models.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.Plan(net, core.DefaultOptions(cfg, models.DefaultBatch(name)))
+}
+
+// --- Fig. 3 -----------------------------------------------------------------
+
+// Fig3Row is one layer of ResNet-50's footprint profile.
+type Fig3Row struct {
+	Layer      string
+	Kind       graph.LayerKind
+	InterLayer int64 // bytes for the whole mini-batch
+	Params     int64 // bytes
+}
+
+// Fig3 computes the per-layer inter-layer data and parameter sizes of
+// ResNet-50 with a 32-sample mini-batch at 16-bit words, sorted descending
+// by inter-layer size as in the paper's plot.
+func Fig3(w io.Writer) []Fig3Row {
+	net, _ := models.Build("resnet50")
+	inter, params := net.LayerFootprints(32)
+	layers := net.Layers()
+	rows := make([]Fig3Row, len(layers))
+	for i, l := range layers {
+		rows[i] = Fig3Row{Layer: l.Name, Kind: l.Kind, InterLayer: inter[i], Params: params[i]}
+	}
+	// Sort descending by inter-layer size (insertion sort keeps it simple
+	// and stable for the table).
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && rows[j].InterLayer > rows[j-1].InterLayer; j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 3: ResNet-50 per-layer footprint (mini-batch 32, 16b words; sorted)",
+			"rank", "layer", "kind", "inter-layer", "params")
+		for i, r := range rows {
+			t.RowF(fmt.Sprint(i), r.Layer, r.Kind.String(),
+				report.Bytes(r.InterLayer), report.Bytes(r.Params))
+		}
+		t.Render(w)
+		// The paper's observation: only a small fraction of inter-layer
+		// data fits a 10 MiB buffer.
+		var total, fits int64
+		for _, r := range rows {
+			total += r.InterLayer
+			if r.InterLayer <= core.DefaultBufferBytes {
+				fits += r.InterLayer
+			}
+		}
+		fmt.Fprintf(w, "inter-layer data reusable within 10 MiB: %s of %s (%.1f%%)\n",
+			report.Bytes(fits), report.Bytes(total), 100*float64(fits)/float64(total))
+	}
+	return rows
+}
+
+// --- Fig. 4 -----------------------------------------------------------------
+
+// Fig4Row is one block of the grouping profile.
+type Fig4Row struct {
+	Block         string
+	PerSampleData int64 // bytes (grey bars)
+	MinIterations int   // red line
+	Group         int   // blue line (group index of the MBS1 schedule)
+}
+
+// Fig4 computes ResNet-50's per-block inter-layer data size, minimal
+// iteration count, and the resulting MBS layer grouping (32 samples,
+// 10 MiB).
+func Fig4(w io.Writer) []Fig4Row {
+	net, _ := models.Build("resnet50")
+	opts := core.DefaultOptions(core.MBS1, 32)
+	s := core.MustPlan(net, opts)
+	rows := make([]Fig4Row, len(net.Blocks))
+	for i, b := range net.Blocks {
+		rows[i] = Fig4Row{
+			Block:         b.Name,
+			PerSampleData: b.FootprintPerSample(false),
+			MinIterations: core.MinIterations(b, opts.BufferBytes, opts.Batch, false),
+		}
+		for gi, g := range s.Groups {
+			if i >= g.First && i <= g.Last {
+				rows[i].Group = gi + 1
+			}
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 4: ResNet-50 per-block data, minimal iterations, MBS grouping (batch 32, 10 MiB)",
+			"block", "data/sample", "min-iters", "group")
+		for _, r := range rows {
+			t.RowF(r.Block, report.Bytes(r.PerSampleData),
+				fmt.Sprint(r.MinIterations), fmt.Sprintf("G%d", r.Group))
+		}
+		t.Render(w)
+	}
+	return rows
+}
+
+// --- Fig. 5 -----------------------------------------------------------------
+
+// Fig5 prints the concrete MBS schedules (MBS1 and MBS2) for a network.
+func Fig5(w io.Writer, network string) ([]*core.Schedule, error) {
+	var out []*core.Schedule
+	for _, cfg := range []core.Config{core.MBS1, core.MBS2} {
+		s, err := plan(network, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if w != nil {
+			fmt.Fprintln(w, s)
+		}
+	}
+	return out, nil
+}
+
+// --- Fig. 10 ----------------------------------------------------------------
+
+// Fig10Cell is one (network, config) evaluation point.
+type Fig10Cell struct {
+	Network string
+	Config  core.Config
+
+	StepSeconds float64
+	EnergyJ     float64
+	DRAMBytes   int64
+	Utilization float64
+
+	SpeedupVsBaseline float64
+	SpeedupVsArchOpt  float64
+	EnergyVsBaseline  float64
+	TrafficVsArchOpt  float64
+}
+
+// Fig10 runs all six configurations on the given networks (default: all
+// six CNNs) over the baseline HBM2 memory and reports per-step time, energy
+// and DRAM traffic, normalized as in the paper's Fig. 10.
+func Fig10(w io.Writer, networks ...string) ([]Fig10Cell, error) {
+	if len(networks) == 0 {
+		networks = DeepCNNs
+	}
+	var cells []Fig10Cell
+	for _, name := range networks {
+		var baseT, baseE float64
+		var archT float64
+		var archD int64
+		for _, cfg := range core.Configs {
+			s, err := plan(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			r, err := sim.Simulate(s, sim.DefaultHW(cfg, memsys.HBM2))
+			if err != nil {
+				return nil, err
+			}
+			if cfg == core.Baseline {
+				baseT, baseE = r.StepSeconds, r.Energy.Total()
+			}
+			if cfg == core.ArchOpt {
+				archT, archD = r.StepSeconds, r.DRAMBytes
+			}
+			c := Fig10Cell{
+				Network: name, Config: cfg,
+				StepSeconds: r.StepSeconds,
+				EnergyJ:     r.Energy.Total(),
+				DRAMBytes:   r.DRAMBytes,
+				Utilization: r.Utilization,
+			}
+			c.SpeedupVsBaseline = baseT / r.StepSeconds
+			if archT > 0 {
+				c.SpeedupVsArchOpt = archT / r.StepSeconds
+			}
+			c.EnergyVsBaseline = r.Energy.Total() / baseE
+			if archD > 0 {
+				c.TrafficVsArchOpt = float64(r.DRAMBytes) / float64(archD)
+			}
+			cells = append(cells, c)
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 10: per-training-step time (a), energy (b), DRAM traffic (c); HBM2 baseline memory",
+			"network", "config", "time", "x(Base)", "x(ArchOpt)",
+			"energy", "E/Base", "DRAM", "D/ArchOpt")
+		for _, c := range cells {
+			arch := "-"
+			traffic := "-"
+			if c.SpeedupVsArchOpt > 0 {
+				arch = fmt.Sprintf("%.2f", c.SpeedupVsArchOpt)
+			}
+			if c.TrafficVsArchOpt > 0 {
+				traffic = fmt.Sprintf("%.2f", c.TrafficVsArchOpt)
+			}
+			t.RowF(c.Network, c.Config.String(), report.Ms(c.StepSeconds),
+				fmt.Sprintf("%.2f", c.SpeedupVsBaseline), arch,
+				fmt.Sprintf("%.2f J", c.EnergyJ),
+				fmt.Sprintf("%.2f", c.EnergyVsBaseline),
+				fmt.Sprintf("%.2f GB", float64(c.DRAMBytes)/1e9), traffic)
+		}
+		t.Render(w)
+	}
+	return cells, nil
+}
+
+// --- Fig. 11 ----------------------------------------------------------------
+
+// Fig11Point is one (config, buffer size) measurement for ResNet-50.
+type Fig11Point struct {
+	Config      core.Config
+	BufferMiB   int64
+	StepSeconds float64
+	DRAMBytes   int64
+}
+
+// Fig11 sweeps the global buffer from 5 to 40 MiB for ResNet-50 across IL
+// and the MBS variants, normalizing to IL at 5 MiB as in the paper.
+func Fig11(w io.Writer) []Fig11Point {
+	net, _ := models.Build("resnet50")
+	var points []Fig11Point
+	var refT float64
+	var refD int64
+	for _, mib := range []int64{5, 10, 20, 30, 40} {
+		for _, cfg := range []core.Config{core.IL, core.MBSFS, core.MBS1, core.MBS2} {
+			opts := core.DefaultOptions(cfg, 32)
+			opts.BufferBytes = mib << 20
+			hw := sim.DefaultHW(cfg, memsys.HBM2)
+			hw.GB = hw.GB.WithSize(opts.BufferBytes)
+			r := sim.MustSimulate(core.MustPlan(net, opts), hw)
+			if mib == 5 && cfg == core.IL {
+				refT, refD = r.StepSeconds, r.DRAMBytes
+			}
+			points = append(points, Fig11Point{
+				Config: cfg, BufferMiB: mib,
+				StepSeconds: r.StepSeconds, DRAMBytes: r.DRAMBytes,
+			})
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 11: ResNet-50 sensitivity to global buffer size (normalized to IL at 5 MiB)",
+			"buffer", "config", "time", "norm-time", "DRAM", "norm-DRAM")
+		for _, p := range points {
+			t.RowF(fmt.Sprintf("%d MiB", p.BufferMiB), p.Config.String(),
+				report.Ms(p.StepSeconds),
+				fmt.Sprintf("%.2f", p.StepSeconds/refT),
+				fmt.Sprintf("%.2f GB", float64(p.DRAMBytes)/1e9),
+				fmt.Sprintf("%.2f", float64(p.DRAMBytes)/float64(refD)))
+		}
+		t.Render(w)
+	}
+	return points
+}
+
+// --- Fig. 12 ----------------------------------------------------------------
+
+// Fig12Point is one (config, memory) measurement for ResNet-50 at the
+// larger 64-per-core mini-batch the paper uses for this experiment.
+type Fig12Point struct {
+	Config      core.Config
+	Memory      string
+	StepSeconds float64
+	Speedup     float64 // vs Baseline on HBM2x2
+	ByClass     map[sim.KindClass]float64
+}
+
+// Fig12 sweeps memory technologies for ResNet-50 and reports the per-layer-
+// type execution time breakdown.
+func Fig12(w io.Writer) []Fig12Point {
+	net, _ := models.Build("resnet50")
+	var points []Fig12Point
+	var ref float64
+	for _, cfg := range []core.Config{core.Baseline, core.ArchOpt, core.IL, core.MBS2} {
+		s := core.MustPlan(net, core.DefaultOptions(cfg, 64))
+		for _, mem := range []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.LPDDR4} {
+			r := sim.MustSimulate(s, sim.DefaultHW(cfg, mem))
+			if ref == 0 {
+				ref = r.StepSeconds
+			}
+			points = append(points, Fig12Point{
+				Config: cfg, Memory: mem.Name,
+				StepSeconds: r.StepSeconds,
+				Speedup:     ref / r.StepSeconds,
+				ByClass:     r.TimeByClass,
+			})
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 12: ResNet-50 (batch 64/core) memory-type sensitivity and time breakdown",
+			"config", "memory", "time", "speedup", "Sum", "Pool", "Norm", "FC", "Conv")
+		for _, p := range points {
+			t.RowF(p.Config.String(), p.Memory, report.Ms(p.StepSeconds),
+				fmt.Sprintf("%.2f", p.Speedup),
+				report.Ms(p.ByClass[sim.ClassSum]),
+				report.Ms(p.ByClass[sim.ClassPool]),
+				report.Ms(p.ByClass[sim.ClassNorm]),
+				report.Ms(p.ByClass[sim.ClassFC]),
+				report.Ms(p.ByClass[sim.ClassConv]))
+		}
+		t.Render(w)
+	}
+	return points
+}
+
+// --- Fig. 13 ----------------------------------------------------------------
+
+// Fig13Point compares WaveCore+MBS2 on one memory type against the V100.
+type Fig13Point struct {
+	Network    string
+	Memory     string
+	GPUSeconds float64
+	WCSeconds  float64
+	Speedup    float64
+}
+
+// Fig13 compares the V100 model (conventional training, 64-sample
+// mini-batch) against one WaveCore chip running MBS2 (2 cores x 32).
+func Fig13(w io.Writer) []Fig13Point {
+	gpu := sim.DefaultV100()
+	var points []Fig13Point
+	for _, name := range []string{"resnet50", "resnet101", "resnet152", "inceptionv3"} {
+		net, _ := models.Build(name)
+		g := sim.SimulateGPU(gpu, core.MustPlan(net, core.DefaultOptions(core.Baseline, 64)))
+		s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+		for _, mem := range []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.HBM2, memsys.LPDDR4} {
+			r := sim.MustSimulate(s, sim.DefaultHW(core.MBS2, mem))
+			points = append(points, Fig13Point{
+				Network: name, Memory: mem.Name,
+				GPUSeconds: g.StepSeconds, WCSeconds: r.StepSeconds,
+				Speedup: g.StepSeconds / r.StepSeconds,
+			})
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 13: NVIDIA V100 vs WaveCore+MBS2 per-step training time",
+			"network", "memory", "V100", "WaveCore", "speedup")
+		for _, p := range points {
+			t.RowF(p.Network, p.Memory, report.Ms(p.GPUSeconds),
+				report.Ms(p.WCSeconds), fmt.Sprintf("%.2f", p.Speedup))
+		}
+		t.Render(w)
+	}
+	return points
+}
+
+// --- Fig. 14 ----------------------------------------------------------------
+
+// Fig14Cell is one (network, config) utilization measurement.
+type Fig14Cell struct {
+	Network     string
+	Config      core.Config
+	Utilization float64
+}
+
+// Fig14 measures systolic-array utilization with unlimited DRAM bandwidth
+// for all networks and the five compute-relevant configurations.
+func Fig14(w io.Writer) []Fig14Cell {
+	configs := []core.Config{core.Baseline, core.ArchOpt, core.MBSFS, core.MBS1, core.MBS2}
+	var cells []Fig14Cell
+	sums := make(map[core.Config]float64)
+	for _, name := range DeepCNNs {
+		for _, cfg := range configs {
+			s, _ := plan(name, cfg)
+			r := sim.MustSimulate(s, sim.DefaultHW(cfg, memsys.HBM2.Unlimited()))
+			cells = append(cells, Fig14Cell{Network: name, Config: cfg, Utilization: r.Utilization})
+			sums[cfg] += r.Utilization
+		}
+	}
+	if w != nil {
+		t := report.NewTable(
+			"Fig. 14: systolic array utilization (unlimited DRAM bandwidth)",
+			"network", "Baseline", "ArchOpt", "MBS-FS", "MBS1", "MBS2")
+		for _, name := range DeepCNNs {
+			row := []string{name}
+			for _, cfg := range configs {
+				for _, c := range cells {
+					if c.Network == name && c.Config == cfg {
+						row = append(row, report.Pct(c.Utilization))
+					}
+				}
+			}
+			t.RowF(row...)
+		}
+		avg := []string{"AVG"}
+		for _, cfg := range configs {
+			avg = append(avg, report.Pct(sums[cfg]/float64(len(DeepCNNs))))
+		}
+		t.RowF(avg...)
+		t.Render(w)
+	}
+	return cells
+}

@@ -1,0 +1,148 @@
+package f16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits F16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},          // max finite half
+		{5.9604645e-8, 0x0001},   // smallest subnormal
+		{0.333251953125, 0x3555}, // nearest half to 1/3
+	}
+	for _, c := range cases {
+		if got := FromFloat32(c.f); got != c.bits {
+			t.Errorf("FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := c.bits.Float32(); back != c.f {
+			t.Errorf("%#04x.Float32() = %g, want %g", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestSpecials(t *testing.T) {
+	if !FromFloat32(float32(math.Inf(1))).IsInf() {
+		t.Error("+Inf lost")
+	}
+	if FromFloat32(float32(math.Inf(-1))) != NegInf {
+		t.Error("-Inf wrong")
+	}
+	if !FromFloat32(float32(math.NaN())).IsNaN() {
+		t.Error("NaN lost")
+	}
+	if !math.IsNaN(float64(NaN.Float32())) {
+		t.Error("NaN round trip failed")
+	}
+	// Overflow saturates to infinity.
+	if !FromFloat32(1e6).IsInf() {
+		t.Error("1e6 should overflow to +Inf")
+	}
+	// Underflow flushes to signed zero.
+	if FromFloat32(1e-9) != 0 {
+		t.Error("1e-9 should underflow to +0")
+	}
+	if FromFloat32(-1e-9) != 0x8000 {
+		t.Error("-1e-9 should underflow to -0")
+	}
+}
+
+func TestRoundTripExactForAllHalves(t *testing.T) {
+	// Every finite half converts to float32 and back bit-identically.
+	for bits := 0; bits < 1<<16; bits++ {
+		h := F16(bits)
+		if h.IsNaN() {
+			continue // NaN payloads need not round trip exactly
+		}
+		if got := FromFloat32(h.Float32()); got != h {
+			t.Fatalf("bits %#04x -> %g -> %#04x", bits, h.Float32(), got)
+		}
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1 and the next half (1+2^-10): RNE
+	// rounds to the even mantissa (1.0).
+	f := float32(1) + float32(math.Pow(2, -11))
+	if got := FromFloat32(f); got != 0x3C00 {
+		t.Errorf("midpoint rounded to %#04x, want 0x3C00 (even)", got)
+	}
+	// 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: rounds up to even.
+	f = float32(1) + 3*float32(math.Pow(2, -11))
+	if got := FromFloat32(f); got != 0x3C02 {
+		t.Errorf("midpoint rounded to %#04x, want 0x3C02", got)
+	}
+}
+
+func TestQuantizeError(t *testing.T) {
+	// Relative quantization error of normal halves is at most 2^-11.
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 60000 || math.Abs(float64(v)) < 1e-4 {
+			return true
+		}
+		q := Quantize(float64(v))
+		rel := math.Abs(q-float64(v)) / math.Abs(float64(v))
+		return rel <= math.Pow(2, -11)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSlice(t *testing.T) {
+	xs := []float64{1.0000001, 0.3333333, 100.06}
+	maxErr := QuantizeSlice(xs)
+	if maxErr <= 0 {
+		t.Error("expected nonzero rounding error")
+	}
+	for _, v := range xs {
+		if Quantize(v) != v {
+			t.Error("slice not idempotently quantized")
+		}
+	}
+}
+
+func TestMixedPrecisionAccumulation(t *testing.T) {
+	// The paper's PE accumulates in 32 bits precisely because long im2col
+	// reductions (K up to ~4600 in ResNet-50) destroy fp16 accumulators.
+	rng := rand.New(rand.NewSource(1))
+	n := 4608 // Ci*R*S of a 512-channel 3x3 layer
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	var exact float64
+	for i := range a {
+		exact += Quantize(a[i]) * Quantize(b[i])
+	}
+	mixed := DotMixed(a, b)
+	half := DotHalfAccum(a, b)
+
+	errMixed := math.Abs(mixed - exact)
+	errHalf := math.Abs(half - exact)
+	if errMixed > 0.1 {
+		t.Errorf("fp32 accumulation error %g too large", errMixed)
+	}
+	if errHalf < 2*errMixed {
+		t.Errorf("fp16 accumulation (%g) should be much worse than fp32 (%g)",
+			errHalf, errMixed)
+	}
+}
+
+func TestDotMismatchedLengths(t *testing.T) {
+	if DotMixed([]float64{1, 2, 3}, []float64{1}) != 1 {
+		t.Error("dot should truncate to the shorter operand")
+	}
+}

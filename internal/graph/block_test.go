@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"testing"
+)
+
+// testResidual builds a simple bottleneck-style residual block:
+// main = 1x1(64->16) -> 3x3(16->16) -> 1x1(16->64), identity shortcut.
+func testResidual(t *testing.T, identity bool) *Block {
+	t.Helper()
+	in := Shape{C: 64, H: 28, W: 28}
+	c1 := NewConvSquare("m1", in, 16, 1, 1, 0)
+	c2 := NewConvSquare("m2", c1.Out, 16, 3, 1, 1)
+	c3 := NewConvSquare("m3", c2.Out, 64, 1, 1, 0)
+	main := []*Layer{c1, c2, c3}
+	var shortcut []*Layer
+	if !identity {
+		shortcut = []*Layer{NewConvSquare("sc", in, 64, 1, 1, 0)}
+	}
+	post := NewAct("relu", c3.Out)
+	return NewResidualBlock("blk", in, main, shortcut, post)
+}
+
+func TestResidualBlockShapes(t *testing.T) {
+	b := testResidual(t, true)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if b.Out != (Shape{64, 28, 28}) {
+		t.Errorf("Out = %v", b.Out)
+	}
+	if !b.IsMultiBranch() {
+		t.Error("residual block should be multi-branch")
+	}
+	if got := b.LayerCount(); got != 4 { // 3 main + 1 post
+		t.Errorf("LayerCount = %d, want 4", got)
+	}
+}
+
+func TestResidualFootprintEq1(t *testing.T) {
+	b := testResidual(t, true)
+	in := b.In.Bytes()        // 64*28*28*2
+	mergeOut := b.Out.Bytes() // same
+
+	// Without branch reuse: max per-layer Din+Dout, or 2x merge operand.
+	noReuse := b.FootprintPerSample(false)
+	if want := 2 * mergeOut; noReuse != want {
+		t.Errorf("no-reuse footprint = %d, want %d (2x merge operands)", noReuse, want)
+	}
+
+	// With branch reuse (Eq. 1): the main path's later layers carry the
+	// block input; layer m3 (16x28x28 -> 64x28x28) + block input dominates.
+	withReuse := b.FootprintPerSample(true)
+	m3 := Shape{16, 28, 28}.Bytes() + Shape{64, 28, 28}.Bytes()
+	if want := m3 + in; withReuse != want {
+		t.Errorf("Eq1 footprint = %d, want %d", withReuse, want)
+	}
+	if withReuse <= noReuse {
+		t.Error("branch reuse must cost extra buffer space")
+	}
+}
+
+func TestIdentityShortcutFootprint(t *testing.T) {
+	b := testResidual(t, true)
+	// The identity branch residency is block input + pending merge operand.
+	fp := b.footprintEq1()
+	min := b.In.Bytes() + b.Out.Bytes()
+	if fp < min {
+		t.Errorf("Eq1 footprint %d below identity-branch residency %d", fp, min)
+	}
+}
+
+func TestInceptionFootprintEq2(t *testing.T) {
+	in := Shape{C: 192, H: 35, W: 35}
+	b1 := []*Layer{NewConvSquare("b1", in, 64, 1, 1, 0)}
+	b2a := NewConvSquare("b2a", in, 48, 1, 1, 0)
+	b2b := NewConvSquare("b2b", b2a.Out, 64, 5, 1, 2)
+	blk := NewInceptionBlock("inc", in, b1, []*Layer{b2a, b2b})
+	if err := blk.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if blk.Out.C != 128 {
+		t.Errorf("concat channels = %d, want 128", blk.Out.C)
+	}
+
+	blockIn := in.Bytes()
+	blockOut := blk.Out.Bytes()
+	// Candidate footprints per Eq. 2:
+	//  b1 l1 (first and last):    in+64        (no cond terms... l==1 and l==L)
+	//  b2a (first, not last):     in+48 + blockOut
+	//  b2b (not first, last):     48+64 + blockIn
+	cand := []int64{
+		in.Bytes() + Shape{64, 35, 35}.Bytes(),
+		in.Bytes() + Shape{48, 35, 35}.Bytes() + blockOut,
+		Shape{48, 35, 35}.Bytes() + Shape{64, 35, 35}.Bytes() + blockIn,
+	}
+	want := cand[0]
+	for _, c := range cand[1:] {
+		if c > want {
+			want = c
+		}
+	}
+	if got := blk.FootprintPerSample(true); got != want {
+		t.Errorf("Eq2 footprint = %d, want %d", got, want)
+	}
+	_ = blockIn
+}
+
+func TestFootprintReuseAtLeastPerLayer(t *testing.T) {
+	// Branch-reuse footprint must never be below the plain per-layer one.
+	for _, identity := range []bool{true, false} {
+		b := testResidual(t, identity)
+		if b.FootprintPerSample(true) < b.maxLayerFootprint() {
+			t.Errorf("identity=%v: reuse footprint below per-layer minimum", identity)
+		}
+	}
+}
+
+func TestPlainBlock(t *testing.T) {
+	c := NewConvSquare("c", Shape{3, 32, 32}, 16, 3, 1, 1)
+	a := NewAct("a", c.Out)
+	b := NewPlainBlock("plain", c, a)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if b.IsMultiBranch() {
+		t.Error("plain block should not be multi-branch")
+	}
+	if b.FootprintPerSample(true) != b.FootprintPerSample(false) {
+		t.Error("branch reuse must not change a plain block's footprint")
+	}
+	// The activation fuses into the convolution (a streaming elementwise
+	// pass over its output), so the working set is conv-in + act-out.
+	want := c.In.Bytes() + a.Out.Bytes()
+	if got := b.FootprintPerSample(true); got != want {
+		t.Errorf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestBlockParamsAndMACs(t *testing.T) {
+	b := testResidual(t, false)
+	var wantP int64
+	for _, l := range b.Layers() {
+		wantP += l.Params()
+	}
+	if got := b.Params(); got != wantP {
+		t.Errorf("Params = %d, want %d", got, wantP)
+	}
+	// MACs must include the merge cost (one op per output element).
+	var layerMACs int64
+	for _, l := range b.Layers() {
+		layerMACs += l.MACs(4)
+	}
+	wantM := layerMACs + 4*b.mergeShape().Elems()
+	if got := b.MACs(4); got != wantM {
+		t.Errorf("MACs = %d, want %d", got, wantM)
+	}
+}
+
+func TestBlockValidateCatchesMismatch(t *testing.T) {
+	in := Shape{C: 64, H: 28, W: 28}
+	c1 := NewConvSquare("m1", in, 32, 3, 1, 1)
+	// Branch output (32ch) mismatches identity shortcut (64ch): builder panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched residual branches")
+		}
+	}()
+	NewResidualBlock("bad", in, []*Layer{c1}, nil)
+}
+
+func TestBlockValidateBrokenChain(t *testing.T) {
+	in := Shape{C: 64, H: 28, W: 28}
+	c1 := NewConvSquare("m1", in, 64, 3, 1, 1)
+	c2 := NewConvSquare("m2", Shape{C: 32, H: 28, W: 28}, 64, 3, 1, 1) // wrong input
+	b := &Block{
+		Name: "broken", In: in, Out: c2.Out, Merge: MergeNone,
+		Branches: []*Branch{{Layers: []*Layer{c1, c2}}},
+	}
+	if err := b.Validate(); err == nil {
+		t.Error("expected chain-mismatch error")
+	}
+}
+
+func TestMergeKindString(t *testing.T) {
+	if MergeNone.String() != "none" || MergeAdd.String() != "add" || MergeConcat.String() != "concat" {
+		t.Error("merge kind strings wrong")
+	}
+}

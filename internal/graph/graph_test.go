@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElemsBytes(t *testing.T) {
+	s := Shape{C: 3, H: 224, W: 224}
+	if got := s.Elems(); got != 3*224*224 {
+		t.Errorf("Elems = %d, want %d", got, 3*224*224)
+	}
+	if got := s.Bytes(); got != 3*224*224*2 {
+		t.Errorf("Bytes = %d, want %d", got, 3*224*224*2)
+	}
+	if !s.Valid() {
+		t.Error("shape should be valid")
+	}
+	if (Shape{C: 0, H: 1, W: 1}).Valid() {
+		t.Error("zero-channel shape should be invalid")
+	}
+}
+
+func TestConvShapeInference(t *testing.T) {
+	cases := []struct {
+		name                 string
+		in                   Shape
+		outC, k, stride, pad int
+		wantH, wantW         int
+	}{
+		{"resnet_stem", Shape{3, 224, 224}, 64, 7, 2, 3, 112, 112},
+		{"same_3x3", Shape{64, 56, 56}, 64, 3, 1, 1, 56, 56},
+		{"strided_3x3", Shape{128, 56, 56}, 128, 3, 2, 1, 28, 28},
+		{"pointwise", Shape{256, 14, 14}, 64, 1, 1, 0, 14, 14},
+		{"alexnet_c1", Shape{3, 227, 227}, 96, 11, 4, 0, 55, 55},
+		{"inception_stem", Shape{3, 299, 299}, 32, 3, 2, 0, 149, 149},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := NewConvSquare(c.name, c.in, c.outC, c.k, c.stride, c.pad)
+			if l.Out.H != c.wantH || l.Out.W != c.wantW {
+				t.Errorf("out = %dx%d, want %dx%d", l.Out.H, l.Out.W, c.wantH, c.wantW)
+			}
+			if l.Out.C != c.outC {
+				t.Errorf("outC = %d, want %d", l.Out.C, c.outC)
+			}
+			if err := l.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestAsymmetricConv(t *testing.T) {
+	in := Shape{C: 192, H: 17, W: 17}
+	l := NewConv("b7", in, 224, 1, 7, 1, 1, 0, 3)
+	if l.Out.H != 17 || l.Out.W != 17 {
+		t.Errorf("1x7 pad (0,3) should preserve 17x17, got %dx%d", l.Out.H, l.Out.W)
+	}
+	if got, want := l.Params(), int64(192*224*1*7); got != want {
+		t.Errorf("Params = %d, want %d", got, want)
+	}
+}
+
+func TestPoolShapes(t *testing.T) {
+	in := Shape{C: 64, H: 112, W: 112}
+	p := NewPool("p", in, MaxPool, 3, 2, 1)
+	if p.Out.H != 56 || p.Out.W != 56 || p.Out.C != 64 {
+		t.Errorf("pool out = %v", p.Out)
+	}
+	g := NewPool("g", Shape{C: 2048, H: 7, W: 7}, GlobalAvgPool, 0, 0, 0)
+	if g.Out != (Shape{C: 2048, H: 1, W: 1}) {
+		t.Errorf("global pool out = %v", g.Out)
+	}
+}
+
+func TestLayerParams(t *testing.T) {
+	conv := NewConvSquare("c", Shape{64, 56, 56}, 128, 3, 1, 1)
+	if got, want := conv.Params(), int64(64*128*9); got != want {
+		t.Errorf("conv params = %d, want %d", got, want)
+	}
+	fc := NewFC("f", Shape{2048, 1, 1}, 1000)
+	if got, want := fc.Params(), int64(2048*1000); got != want {
+		t.Errorf("fc params = %d, want %d", got, want)
+	}
+	norm := NewNorm("n", Shape{128, 28, 28}, 32)
+	if got, want := norm.Params(), int64(256); got != want {
+		t.Errorf("norm params = %d, want %d", got, want)
+	}
+	act := NewAct("a", Shape{128, 28, 28})
+	if act.Params() != 0 {
+		t.Error("act should have no params")
+	}
+}
+
+func TestLayerMACs(t *testing.T) {
+	conv := NewConvSquare("c", Shape{64, 56, 56}, 128, 3, 1, 1)
+	want := int64(8) * int64(128*56*56) * int64(64*9)
+	if got := conv.MACs(8); got != want {
+		t.Errorf("conv MACs(8) = %d, want %d", got, want)
+	}
+	fc := NewFC("f", Shape{4096, 1, 1}, 1000)
+	if got, want := fc.MACs(2), int64(2*4096*1000); got != want {
+		t.Errorf("fc MACs = %d, want %d", got, want)
+	}
+}
+
+func TestMACsScaleLinearlyInBatch(t *testing.T) {
+	layers := []*Layer{
+		NewConvSquare("c", Shape{64, 56, 56}, 128, 3, 2, 1),
+		NewFC("f", Shape{512, 1, 1}, 100),
+		NewPool("p", Shape{64, 56, 56}, MaxPool, 2, 2, 0),
+		NewNorm("n", Shape{64, 56, 56}, 32),
+		NewAct("a", Shape{64, 56, 56}),
+	}
+	f := func(n uint8) bool {
+		k := int(n%31) + 1
+		for _, l := range layers {
+			if l.MACs(k) != int64(k)*l.MACs(1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayerValidateCatchesBadShapes(t *testing.T) {
+	l := NewConvSquare("c", Shape{64, 56, 56}, 128, 3, 1, 1)
+	l.Out.H = 55 // corrupt
+	if err := l.Validate(); err == nil {
+		t.Error("expected geometry mismatch error")
+	}
+	n := NewNorm("n", Shape{64, 56, 56}, 32)
+	n.Out.C = 32
+	if err := n.Validate(); err == nil {
+		t.Error("expected shape-preservation error")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := map[LayerKind]string{
+		Conv: "conv", FC: "fc", Pool: "pool", Norm: "norm",
+		Act: "act", Add: "add", Concat: "concat",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if MaxPool.String() != "max" || AvgPool.String() != "avg" || GlobalAvgPool.String() != "gavg" {
+		t.Error("pool kind strings wrong")
+	}
+}

@@ -1,0 +1,115 @@
+// Package memsys describes the off-chip memory systems and on-chip global
+// buffer evaluated in the paper (Tab. 4), with bandwidth, capacity and
+// per-byte access energy for each DRAM technology.
+package memsys
+
+import "fmt"
+
+// GiB is 2^30 bytes.
+const GiB = 1 << 30
+
+// DRAM describes one off-chip memory configuration attached to a WaveCore
+// chip (both cores share it; four channels per core for the HBM2 baseline).
+type DRAM struct {
+	Name string
+	// BandwidthBytes is the aggregate peak bandwidth in bytes/second.
+	BandwidthBytes float64
+	// CapacityBytes is the total capacity.
+	CapacityBytes int64
+	// Chips and Channels document the physical organization (Tab. 4).
+	Chips    int
+	Channels int
+	// EnergyPerByte is the access energy in J/byte (derating included); the
+	// values follow the usual per-bit figures: ~4 pJ/b for HBM2 stacks,
+	// ~7 pJ/b for GDDR5, ~4.5 pJ/b for LPDDR4.
+	EnergyPerByte float64
+}
+
+// The paper's four memory configurations (Tab. 4). Bandwidth uses the
+// paper's GiB/s figures.
+var (
+	HBM2 = DRAM{
+		Name: "HBM2", BandwidthBytes: 300 * GiB, CapacityBytes: 8 * GiB,
+		Chips: 1, Channels: 8, EnergyPerByte: 32e-12,
+	}
+	HBM2x2 = DRAM{
+		Name: "HBM2x2", BandwidthBytes: 600 * GiB, CapacityBytes: 16 * GiB,
+		Chips: 2, Channels: 16, EnergyPerByte: 32e-12,
+	}
+	GDDR5 = DRAM{
+		Name: "GDDR5", BandwidthBytes: 384 * GiB, CapacityBytes: 12 * GiB,
+		Chips: 12, Channels: 12, EnergyPerByte: 56e-12,
+	}
+	LPDDR4 = DRAM{
+		Name: "LPDDR4", BandwidthBytes: 239.2 * GiB, CapacityBytes: 16 * GiB,
+		Chips: 8, Channels: 8, EnergyPerByte: 36e-12,
+	}
+)
+
+// Memories lists the configurations in the paper's presentation order.
+var Memories = []DRAM{HBM2, HBM2x2, GDDR5, LPDDR4}
+
+// ByName returns a memory configuration by name.
+func ByName(name string) (DRAM, error) {
+	for _, m := range Memories {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return DRAM{}, fmt.Errorf("memsys: unknown memory %q", name)
+}
+
+// Unlimited returns a copy of the memory with effectively infinite bandwidth
+// (used for the utilization isolation experiment of Fig. 14).
+func (d DRAM) Unlimited() DRAM {
+	d.Name = d.Name + "-unlimited"
+	d.BandwidthBytes = 1e18
+	return d
+}
+
+// TransferSeconds returns the time to move n bytes at peak bandwidth.
+func (d DRAM) TransferSeconds(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / d.BandwidthBytes
+}
+
+// GlobalBuffer is the per-core on-chip SRAM buffer (10 MiB, 32 banks in the
+// baseline design).
+type GlobalBuffer struct {
+	SizeBytes      int64
+	Banks          int
+	BandwidthBytes float64
+	// EnergyPerByte is the access energy; the paper states a global buffer
+	// access costs 8x less than a DRAM access.
+	EnergyPerByte float64
+}
+
+// DefaultGlobalBuffer returns the paper's baseline 10 MiB, 32-bank buffer
+// with 501 GB/s toward the systolic array (Fig. 9) and 1/8 the HBM2 access
+// energy.
+func DefaultGlobalBuffer() GlobalBuffer {
+	return GlobalBuffer{
+		SizeBytes:      10 << 20,
+		Banks:          32,
+		BandwidthBytes: 501e9,
+		EnergyPerByte:  HBM2.EnergyPerByte / 8,
+	}
+}
+
+// WithSize returns a copy with a different capacity (Fig. 11's sweep),
+// keeping bandwidth and energy unchanged.
+func (g GlobalBuffer) WithSize(bytes int64) GlobalBuffer {
+	g.SizeBytes = bytes
+	return g
+}
+
+// TransferSeconds returns the time to move n bytes at the buffer's peak
+// bandwidth.
+func (g GlobalBuffer) TransferSeconds(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / g.BandwidthBytes
+}

@@ -1,0 +1,90 @@
+package memsys
+
+import (
+	"testing"
+)
+
+func TestTab4Configurations(t *testing.T) {
+	// Tab. 4's organization and bandwidth figures.
+	if HBM2.BandwidthBytes != 300*GiB || HBM2.Channels != 8 || HBM2.CapacityBytes != 8*GiB {
+		t.Errorf("HBM2 = %+v", HBM2)
+	}
+	if HBM2x2.BandwidthBytes != 2*HBM2.BandwidthBytes {
+		t.Error("HBM2x2 must double HBM2 bandwidth")
+	}
+	if GDDR5.Chips != 12 || GDDR5.BandwidthBytes != 384*GiB {
+		t.Errorf("GDDR5 = %+v", GDDR5)
+	}
+	if LPDDR4.Chips != 8 || LPDDR4.BandwidthBytes != 239.2*GiB {
+		t.Errorf("LPDDR4 = %+v", LPDDR4)
+	}
+	// The paper's bandwidth relationships: GDDR5 is 64% of HBM2x2 and
+	// LPDDR4 40% (Section 6, Fig. 12 discussion).
+	if r := GDDR5.BandwidthBytes / HBM2x2.BandwidthBytes; r < 0.63 || r > 0.65 {
+		t.Errorf("GDDR5/HBM2x2 = %.3f, want 0.64", r)
+	}
+	if r := LPDDR4.BandwidthBytes / HBM2x2.BandwidthBytes; r < 0.39 || r > 0.41 {
+		t.Errorf("LPDDR4/HBM2x2 = %.3f, want 0.40", r)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range Memories {
+		got, err := ByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Errorf("ByName(%s): %v", m.Name, err)
+		}
+	}
+	if _, err := ByName("HBM3"); err == nil {
+		t.Error("unknown memory should error")
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	if got := HBM2.TransferSeconds(300 * GiB); got < 0.999 || got > 1.001 {
+		t.Errorf("300GiB over HBM2 = %f s, want 1", got)
+	}
+	if HBM2.TransferSeconds(0) != 0 || HBM2.TransferSeconds(-5) != 0 {
+		t.Error("non-positive transfers must take zero time")
+	}
+}
+
+func TestUnlimited(t *testing.T) {
+	u := HBM2.Unlimited()
+	if u.BandwidthBytes <= HBM2.BandwidthBytes {
+		t.Error("unlimited must raise bandwidth")
+	}
+	if HBM2.BandwidthBytes != 300*GiB {
+		t.Error("Unlimited must not mutate the original")
+	}
+	if u.TransferSeconds(1<<40) > 1e-3 {
+		t.Error("unlimited transfers should be effectively instant")
+	}
+}
+
+func TestGlobalBuffer(t *testing.T) {
+	gb := DefaultGlobalBuffer()
+	if gb.SizeBytes != 10<<20 || gb.Banks != 32 {
+		t.Errorf("default GB = %+v", gb)
+	}
+	// Paper: a global buffer access costs 8x less than DRAM.
+	if r := HBM2.EnergyPerByte / gb.EnergyPerByte; r < 7.9 || r > 8.1 {
+		t.Errorf("DRAM/GB energy ratio = %.2f, want 8", r)
+	}
+	big := gb.WithSize(40 << 20)
+	if big.SizeBytes != 40<<20 || gb.SizeBytes != 10<<20 {
+		t.Error("WithSize must copy, not mutate")
+	}
+	if big.BandwidthBytes != gb.BandwidthBytes {
+		t.Error("WithSize must keep bandwidth")
+	}
+}
+
+func TestEnergyPerByteOrdering(t *testing.T) {
+	// GDDR5 is the most energy-hungry per byte; HBM2 the least.
+	if !(GDDR5.EnergyPerByte > LPDDR4.EnergyPerByte &&
+		LPDDR4.EnergyPerByte > HBM2.EnergyPerByte) {
+		t.Errorf("energy ordering wrong: HBM2=%g LPDDR4=%g GDDR5=%g",
+			HBM2.EnergyPerByte, LPDDR4.EnergyPerByte, GDDR5.EnergyPerByte)
+	}
+}

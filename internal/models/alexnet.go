@@ -1,0 +1,57 @@
+package models
+
+import (
+	"repro/internal/graph"
+)
+
+// AlexNet builds AlexNet for 227x227 inputs (Krizhevsky et al. 2012). The
+// local response normalization layers after conv1 and conv2 are modelled as
+// Norm layers (their memory behaviour — two passes over the input — matches
+// the paper's normalization accounting). The three large fully connected
+// layers are what drives the MBS-FS weight-traffic blow-up in Fig. 10c.
+func AlexNet() *graph.Network {
+	input := graph.Shape{C: 3, H: 227, W: 227}
+	var blocks []*graph.Block
+	add := func(b *graph.Block) graph.Shape {
+		blocks = append(blocks, b)
+		return b.Out
+	}
+
+	c1 := graph.NewConvSquare("conv1", input, 96, 11, 4, 0)
+	n1 := graph.NewNorm("norm1", c1.Out, normGroups(96))
+	a1 := graph.NewAct("relu1", n1.Out)
+	cur := add(graph.NewPlainBlock("conv1", c1, n1, a1))
+	cur = add(graph.NewPlainBlock("pool1", graph.NewPool("pool1", cur, graph.MaxPool, 3, 2, 0)))
+
+	c2 := graph.NewConvSquare("conv2", cur, 256, 5, 1, 2)
+	n2 := graph.NewNorm("norm2", c2.Out, normGroups(256))
+	a2 := graph.NewAct("relu2", n2.Out)
+	cur = add(graph.NewPlainBlock("conv2", c2, n2, a2))
+	cur = add(graph.NewPlainBlock("pool2", graph.NewPool("pool2", cur, graph.MaxPool, 3, 2, 0)))
+
+	c3 := graph.NewConvSquare("conv3", cur, 384, 3, 1, 1)
+	a3 := graph.NewAct("relu3", c3.Out)
+	cur = add(graph.NewPlainBlock("conv3", c3, a3))
+
+	c4 := graph.NewConvSquare("conv4", cur, 384, 3, 1, 1)
+	a4 := graph.NewAct("relu4", c4.Out)
+	cur = add(graph.NewPlainBlock("conv4", c4, a4))
+
+	c5 := graph.NewConvSquare("conv5", cur, 256, 3, 1, 1)
+	a5 := graph.NewAct("relu5", c5.Out)
+	cur = add(graph.NewPlainBlock("conv5", c5, a5))
+	cur = add(graph.NewPlainBlock("pool5", graph.NewPool("pool5", cur, graph.MaxPool, 3, 2, 0)))
+
+	f6 := graph.NewFC("fc6", cur, 4096)
+	a6 := graph.NewAct("relu6", f6.Out)
+	cur = add(graph.NewPlainBlock("fc6", f6, a6))
+
+	f7 := graph.NewFC("fc7", cur, 4096)
+	a7 := graph.NewAct("relu7", f7.Out)
+	cur = add(graph.NewPlainBlock("fc7", f7, a7))
+
+	f8 := graph.NewFC("fc8", cur, 1000)
+	add(graph.NewPlainBlock("fc8", f8))
+
+	return graph.MustNetwork("alexnet", input, blocks...)
+}

@@ -1,0 +1,153 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// InceptionV3 builds Inception-v3 for 299x299 inputs (Szegedy et al. 2015).
+func InceptionV3() *graph.Network {
+	input := graph.Shape{C: 3, H: 299, W: 299}
+	var blocks []*graph.Block
+	add := func(b *graph.Block) graph.Shape {
+		blocks = append(blocks, b)
+		return b.Out
+	}
+
+	// Stem.
+	cur := add(graph.NewPlainBlock("stem1",
+		concat3(
+			convBNActSquare("conv1", input, 32, 3, 2, 0),
+			convBNActSquare("conv2", graph.Shape{C: 32, H: 149, W: 149}, 32, 3, 1, 0),
+			convBNActSquare("conv3", graph.Shape{C: 32, H: 147, W: 147}, 64, 3, 1, 1),
+		)...))
+	cur = add(graph.NewPlainBlock("pool1", graph.NewPool("pool1", cur, graph.MaxPool, 3, 2, 0)))
+	cur = add(graph.NewPlainBlock("stem2",
+		concat2(
+			convBNActSquare("conv4", cur, 80, 1, 1, 0),
+			convBNActSquare("conv5", graph.Shape{C: 80, H: 73, W: 73}, 192, 3, 1, 0),
+		)...))
+	cur = add(graph.NewPlainBlock("pool2", graph.NewPool("pool2", cur, graph.MaxPool, 3, 2, 0)))
+
+	// 3x Inception-A (mixed 5b,5c,5d), pool-branch channels 32,64,64.
+	for i, pf := range []int{32, 64, 64} {
+		cur = add(inceptionA(fmt.Sprintf("mixA%d", i+1), cur, pf))
+	}
+	// Reduction-A (mixed 6a).
+	cur = add(reductionAv3("redA", cur))
+	// 4x Inception-B/C-style 7x7 factorized blocks (mixed 6b..6e).
+	for i, c7 := range []int{128, 160, 160, 192} {
+		cur = add(inceptionC7(fmt.Sprintf("mixB%d", i+1), cur, c7))
+	}
+	// Reduction-B (mixed 7a).
+	cur = add(reductionBv3("redB", cur))
+	// 2x Inception-E (mixed 7b,7c).
+	for i := 0; i < 2; i++ {
+		cur = add(inceptionE(fmt.Sprintf("mixE%d", i+1), cur))
+	}
+
+	gap := graph.NewPool("avgpool", cur, graph.GlobalAvgPool, 0, 0, 0)
+	fc := graph.NewFC("fc1000", gap.Out, 1000)
+	blocks = append(blocks,
+		graph.NewPlainBlock("avgpool", gap),
+		graph.NewPlainBlock("fc", fc),
+	)
+	return graph.MustNetwork("inceptionv3", input, blocks...)
+}
+
+func concat2(a, b []*graph.Layer) []*graph.Layer { return append(append([]*graph.Layer{}, a...), b...) }
+
+func concat3(a, b, c []*graph.Layer) []*graph.Layer {
+	return append(concat2(a, b), c...)
+}
+
+// inceptionA: 1x1 / 5x5 / double-3x3 / pool-proj branches (out 224+pf ch).
+func inceptionA(name string, in graph.Shape, poolFeatures int) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 64, 1, 1, 0)
+
+	b2 := convBNActSquare(name+"_b5a", in, 48, 1, 1, 0)
+	b2 = append(b2, convBNActSquare(name+"_b5b", out(b2), 64, 5, 1, 2)...)
+
+	b3 := convBNActSquare(name+"_b3a", in, 64, 1, 1, 0)
+	b3 = append(b3, convBNActSquare(name+"_b3b", out(b3), 96, 3, 1, 1)...)
+	b3 = append(b3, convBNActSquare(name+"_b3c", out(b3), 96, 3, 1, 1)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), poolFeatures, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2, b3, bp)
+}
+
+// reductionAv3: strided 3x3 / double-3x3 / max-pool branches (35→17).
+func reductionAv3(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b3", in, 384, 3, 2, 0)
+
+	b2 := convBNActSquare(name+"_b3da", in, 64, 1, 1, 0)
+	b2 = append(b2, convBNActSquare(name+"_b3db", out(b2), 96, 3, 1, 1)...)
+	b2 = append(b2, convBNActSquare(name+"_b3dc", out(b2), 96, 3, 2, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.MaxPool, 3, 2, 0)}
+
+	return graph.NewInceptionBlock(name, in, b1, b2, bp)
+}
+
+// inceptionC7: factorized 7x7 branches with c7 intermediate channels.
+func inceptionC7(name string, in graph.Shape, c7 int) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 192, 1, 1, 0)
+
+	b2 := convBNActSquare(name+"_b7a", in, c7, 1, 1, 0)
+	b2 = append(b2, convBNAct(name+"_b7b", out(b2), c7, 1, 7, 1, 1, 0, 3)...)
+	b2 = append(b2, convBNAct(name+"_b7c", out(b2), 192, 7, 1, 1, 1, 3, 0)...)
+
+	b3 := convBNActSquare(name+"_b7da", in, c7, 1, 1, 0)
+	b3 = append(b3, convBNAct(name+"_b7db", out(b3), c7, 7, 1, 1, 1, 3, 0)...)
+	b3 = append(b3, convBNAct(name+"_b7dc", out(b3), c7, 1, 7, 1, 1, 0, 3)...)
+	b3 = append(b3, convBNAct(name+"_b7dd", out(b3), c7, 7, 1, 1, 1, 3, 0)...)
+	b3 = append(b3, convBNAct(name+"_b7de", out(b3), 192, 1, 7, 1, 1, 0, 3)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), 192, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2, b3, bp)
+}
+
+// reductionBv3: 17→8 downsampling block.
+func reductionBv3(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b3a", in, 192, 1, 1, 0)
+	b1 = append(b1, convBNActSquare(name+"_b3b", out(b1), 320, 3, 2, 0)...)
+
+	b2 := convBNActSquare(name+"_b7a", in, 192, 1, 1, 0)
+	b2 = append(b2, convBNAct(name+"_b7b", out(b2), 192, 1, 7, 1, 1, 0, 3)...)
+	b2 = append(b2, convBNAct(name+"_b7c", out(b2), 192, 7, 1, 1, 1, 3, 0)...)
+	b2 = append(b2, convBNActSquare(name+"_b7d", out(b2), 192, 3, 2, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.MaxPool, 3, 2, 0)}
+
+	return graph.NewInceptionBlock(name, in, b1, b2, bp)
+}
+
+// inceptionE: the widest module (output 2048 channels at 8x8). The nested
+// 1x3/3x1 output splits of the published module are flattened into sibling
+// branches (duplicating the parent 1x1/3x3 convolution), keeping the block
+// a single split/merge level; see the package comment.
+func inceptionE(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 320, 1, 1, 0)
+
+	b2a := convBNActSquare(name+"_b3a", in, 384, 1, 1, 0)
+	b2a = append(b2a, convBNAct(name+"_b3a13", out(b2a), 384, 1, 3, 1, 1, 0, 1)...)
+	b2b := convBNActSquare(name+"_b3b", in, 384, 1, 1, 0)
+	b2b = append(b2b, convBNAct(name+"_b3b31", out(b2b), 384, 3, 1, 1, 1, 1, 0)...)
+
+	b3a := convBNActSquare(name+"_bd1", in, 448, 1, 1, 0)
+	b3a = append(b3a, convBNActSquare(name+"_bd3", out(b3a), 384, 3, 1, 1)...)
+	b3a = append(b3a, convBNAct(name+"_bd13", out(b3a), 384, 1, 3, 1, 1, 0, 1)...)
+	b3b := convBNActSquare(name+"_be1", in, 448, 1, 1, 0)
+	b3b = append(b3b, convBNActSquare(name+"_be3", out(b3b), 384, 3, 1, 1)...)
+	b3b = append(b3b, convBNAct(name+"_be31", out(b3b), 384, 3, 1, 1, 1, 1, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), 192, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2a, b2b, b3a, b3b, bp)
+}

@@ -1,0 +1,158 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// InceptionV4 builds Inception-v4 for 299x299 inputs (Szegedy et al. 2017).
+func InceptionV4() *graph.Network {
+	input := graph.Shape{C: 3, H: 299, W: 299}
+	var blocks []*graph.Block
+	add := func(b *graph.Block) graph.Shape {
+		blocks = append(blocks, b)
+		return b.Out
+	}
+
+	// Stem: three plain convolutions, then three mixed (branching) stages.
+	cur := input
+	s1 := convBNActSquare("conv1", cur, 32, 3, 2, 0)
+	s2 := convBNActSquare("conv2", out(s1), 32, 3, 1, 0)
+	s3 := convBNActSquare("conv3", out(s2), 64, 3, 1, 1)
+	cur = add(graph.NewPlainBlock("stem1", concat3(s1, s2, s3)...))
+
+	// mixed_3a: max-pool vs strided conv, concat to 160 channels at 73x73.
+	cur = add(graph.NewInceptionBlock("mix3a", cur,
+		[]*graph.Layer{graph.NewPool("mix3a_pool", cur, graph.MaxPool, 3, 2, 0)},
+		convBNActSquare("mix3a_conv", cur, 96, 3, 2, 0),
+	))
+
+	// mixed_4a: two conv paths, concat to 192 channels at 71x71.
+	p1 := convBNActSquare("mix4a_a1", cur, 64, 1, 1, 0)
+	p1 = append(p1, convBNActSquare("mix4a_a2", out(p1), 96, 3, 1, 0)...)
+	p2 := convBNActSquare("mix4a_b1", cur, 64, 1, 1, 0)
+	p2 = append(p2, convBNAct("mix4a_b2", out(p2), 64, 1, 7, 1, 1, 0, 3)...)
+	p2 = append(p2, convBNAct("mix4a_b3", out(p2), 64, 7, 1, 1, 1, 3, 0)...)
+	p2 = append(p2, convBNActSquare("mix4a_b4", out(p2), 96, 3, 1, 0)...)
+	cur = add(graph.NewInceptionBlock("mix4a", cur, p1, p2))
+
+	// mixed_5a: strided conv vs max-pool, concat to 384 channels at 35x35.
+	cur = add(graph.NewInceptionBlock("mix5a", cur,
+		convBNActSquare("mix5a_conv", cur, 192, 3, 2, 0),
+		[]*graph.Layer{graph.NewPool("mix5a_pool", cur, graph.MaxPool, 3, 2, 0)},
+	))
+
+	// 4x Inception-A.
+	for i := 0; i < 4; i++ {
+		cur = add(inceptionAv4(fmt.Sprintf("mixA%d", i+1), cur))
+	}
+	cur = add(reductionAv4("redA", cur))
+	// 7x Inception-B.
+	for i := 0; i < 7; i++ {
+		cur = add(inceptionBv4(fmt.Sprintf("mixB%d", i+1), cur))
+	}
+	cur = add(reductionBv4("redB", cur))
+	// 3x Inception-C.
+	for i := 0; i < 3; i++ {
+		cur = add(inceptionCv4(fmt.Sprintf("mixC%d", i+1), cur))
+	}
+
+	gap := graph.NewPool("avgpool", cur, graph.GlobalAvgPool, 0, 0, 0)
+	fc := graph.NewFC("fc1000", gap.Out, 1000)
+	blocks = append(blocks,
+		graph.NewPlainBlock("avgpool", gap),
+		graph.NewPlainBlock("fc", fc),
+	)
+	return graph.MustNetwork("inceptionv4", input, blocks...)
+}
+
+// inceptionAv4: 35x35 module, 384 -> 384 channels.
+func inceptionAv4(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 96, 1, 1, 0)
+
+	b2 := convBNActSquare(name+"_b3a", in, 64, 1, 1, 0)
+	b2 = append(b2, convBNActSquare(name+"_b3b", out(b2), 96, 3, 1, 1)...)
+
+	b3 := convBNActSquare(name+"_b3da", in, 64, 1, 1, 0)
+	b3 = append(b3, convBNActSquare(name+"_b3db", out(b3), 96, 3, 1, 1)...)
+	b3 = append(b3, convBNActSquare(name+"_b3dc", out(b3), 96, 3, 1, 1)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), 96, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2, b3, bp)
+}
+
+// reductionAv4: 35 -> 17, 384 -> 1024 channels.
+func reductionAv4(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b3", in, 384, 3, 2, 0)
+
+	b2 := convBNActSquare(name+"_b3da", in, 192, 1, 1, 0)
+	b2 = append(b2, convBNActSquare(name+"_b3db", out(b2), 224, 3, 1, 1)...)
+	b2 = append(b2, convBNActSquare(name+"_b3dc", out(b2), 256, 3, 2, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.MaxPool, 3, 2, 0)}
+
+	return graph.NewInceptionBlock(name, in, b1, b2, bp)
+}
+
+// inceptionBv4: 17x17 module, 1024 -> 1024 channels.
+func inceptionBv4(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 384, 1, 1, 0)
+
+	b2 := convBNActSquare(name+"_b7a", in, 192, 1, 1, 0)
+	b2 = append(b2, convBNAct(name+"_b7b", out(b2), 224, 1, 7, 1, 1, 0, 3)...)
+	b2 = append(b2, convBNAct(name+"_b7c", out(b2), 256, 7, 1, 1, 1, 3, 0)...)
+
+	b3 := convBNActSquare(name+"_b7da", in, 192, 1, 1, 0)
+	b3 = append(b3, convBNAct(name+"_b7db", out(b3), 192, 7, 1, 1, 1, 3, 0)...)
+	b3 = append(b3, convBNAct(name+"_b7dc", out(b3), 224, 1, 7, 1, 1, 0, 3)...)
+	b3 = append(b3, convBNAct(name+"_b7dd", out(b3), 224, 7, 1, 1, 1, 3, 0)...)
+	b3 = append(b3, convBNAct(name+"_b7de", out(b3), 256, 1, 7, 1, 1, 0, 3)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), 128, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2, b3, bp)
+}
+
+// reductionBv4: 17 -> 8, 1024 -> 1536 channels.
+func reductionBv4(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b3a", in, 192, 1, 1, 0)
+	b1 = append(b1, convBNActSquare(name+"_b3b", out(b1), 192, 3, 2, 0)...)
+
+	b2 := convBNActSquare(name+"_b7a", in, 256, 1, 1, 0)
+	b2 = append(b2, convBNAct(name+"_b7b", out(b2), 256, 1, 7, 1, 1, 0, 3)...)
+	b2 = append(b2, convBNAct(name+"_b7c", out(b2), 320, 7, 1, 1, 1, 3, 0)...)
+	b2 = append(b2, convBNActSquare(name+"_b7d", out(b2), 320, 3, 2, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.MaxPool, 3, 2, 0)}
+
+	return graph.NewInceptionBlock(name, in, b1, b2, bp)
+}
+
+// inceptionCv4: 8x8 module, 1536 -> 1536 channels. Nested output splits are
+// flattened into sibling branches (see package comment).
+func inceptionCv4(name string, in graph.Shape) *graph.Block {
+	b1 := convBNActSquare(name+"_b1x1", in, 256, 1, 1, 0)
+
+	b2a := convBNActSquare(name+"_b3a", in, 384, 1, 1, 0)
+	b2a = append(b2a, convBNAct(name+"_b3a13", out(b2a), 256, 1, 3, 1, 1, 0, 1)...)
+	b2b := convBNActSquare(name+"_b3b", in, 384, 1, 1, 0)
+	b2b = append(b2b, convBNAct(name+"_b3b31", out(b2b), 256, 3, 1, 1, 1, 1, 0)...)
+
+	b3a := convBNActSquare(name+"_bd1", in, 384, 1, 1, 0)
+	b3a = append(b3a, convBNAct(name+"_bd31", out(b3a), 448, 3, 1, 1, 1, 1, 0)...)
+	b3a = append(b3a, convBNAct(name+"_bd13", out(b3a), 512, 1, 3, 1, 1, 0, 1)...)
+	b3a = append(b3a, convBNAct(name+"_bd13b", out(b3a), 256, 1, 3, 1, 1, 0, 1)...)
+	b3b := convBNActSquare(name+"_be1", in, 384, 1, 1, 0)
+	b3b = append(b3b, convBNAct(name+"_be31", out(b3b), 448, 3, 1, 1, 1, 1, 0)...)
+	b3b = append(b3b, convBNAct(name+"_be13", out(b3b), 512, 1, 3, 1, 1, 0, 1)...)
+	b3b = append(b3b, convBNAct(name+"_be31b", out(b3b), 256, 3, 1, 1, 1, 1, 0)...)
+
+	bp := []*graph.Layer{graph.NewPool(name+"_pool", in, graph.AvgPool, 3, 1, 1)}
+	bp = append(bp, convBNActSquare(name+"_bpool", out(bp), 256, 1, 1, 0)...)
+
+	return graph.NewInceptionBlock(name, in, b1, b2a, b2b, b3a, b3b, bp)
+}

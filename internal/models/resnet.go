@@ -1,0 +1,78 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ResNet50 builds ResNet-50 for 224x224 inputs (He et al. 2016).
+func ResNet50() *graph.Network { return resNet("resnet50", [4]int{3, 4, 6, 3}) }
+
+// ResNet101 builds ResNet-101.
+func ResNet101() *graph.Network { return resNet("resnet101", [4]int{3, 4, 23, 3}) }
+
+// ResNet152 builds ResNet-152.
+func ResNet152() *graph.Network { return resNet("resnet152", [4]int{3, 8, 36, 3}) }
+
+// resNet assembles a bottleneck ResNet with the given per-stage block
+// counts. Stage s uses mid channels 64·2^s and output channels 256·2^s;
+// stages 2–4 downsample with stride 2 in their first block.
+func resNet(name string, stages [4]int) *graph.Network {
+	input := graph.Shape{C: 3, H: 224, W: 224}
+	var blocks []*graph.Block
+
+	// Stem: 7x7/2 conv, norm, ReLU, 3x3/2 max pool.
+	stem := convBNActSquare("conv1", input, 64, 7, 2, 3)
+	pool := graph.NewPool("pool1", out(stem), graph.MaxPool, 3, 2, 1)
+	blocks = append(blocks,
+		graph.NewPlainBlock("stem", stem...),
+		graph.NewPlainBlock("pool1", pool),
+	)
+
+	cur := pool.Out
+	for s := 0; s < 4; s++ {
+		mid := 64 << s
+		outC := 256 << s
+		for b := 0; b < stages[s]; b++ {
+			stride := 1
+			if b == 0 && s > 0 {
+				stride = 2
+			}
+			bn := fmt.Sprintf("res%d%c", s+2, 'a'+b)
+			blk := bottleneck(bn, cur, mid, outC, stride)
+			blocks = append(blocks, blk)
+			cur = blk.Out
+		}
+	}
+
+	gap := graph.NewPool("avgpool", cur, graph.GlobalAvgPool, 0, 0, 0)
+	fc := graph.NewFC("fc1000", gap.Out, 1000)
+	blocks = append(blocks,
+		graph.NewPlainBlock("avgpool", gap),
+		graph.NewPlainBlock("fc", fc),
+	)
+	return graph.MustNetwork(name, input, blocks...)
+}
+
+// bottleneck builds one ResNet bottleneck residual block:
+// 1x1 reduce → 3x3 (strided when downsampling) → 1x1 expand on the main
+// path, identity or projection shortcut, ReLU after the merge.
+func bottleneck(name string, in graph.Shape, mid, outC, stride int) *graph.Block {
+	var main []*graph.Layer
+	main = append(main, convBNActSquare(name+"_a", in, mid, 1, 1, 0)...)
+	main = append(main, convBNActSquare(name+"_b", out(main), mid, 3, stride, 1)...)
+	c := graph.NewConvSquare(name+"_c_conv", out(main), outC, 1, 1, 0)
+	n := graph.NewNorm(name+"_c_norm", c.Out, normGroups(outC))
+	main = append(main, c, n)
+
+	var shortcut []*graph.Layer
+	if stride != 1 || in.C != outC {
+		sc := graph.NewConvSquare(name+"_sc_conv", in, outC, 1, stride, 0)
+		sn := graph.NewNorm(name+"_sc_norm", sc.Out, normGroups(outC))
+		shortcut = []*graph.Layer{sc, sn}
+	}
+
+	post := graph.NewAct(name+"_relu", n.Out)
+	return graph.NewResidualBlock(name, in, main, shortcut, post)
+}

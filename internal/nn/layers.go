@@ -1,0 +1,283 @@
+// Package nn is a small from-scratch CNN training engine with forward and
+// backward passes, batch/group normalization, SGD with momentum, and an MBS
+// trainer that serializes a mini-batch into sub-batches with gradient
+// accumulation. It exists to demonstrate numerically the paper's Section 3.1
+// claims: GN is compatible with MBS (sub-batch serialization computes
+// exactly the full-batch gradients) while BN is not, and GN+MBS trains as
+// well as BN (the Fig. 6 substitute experiment).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is one learnable parameter with its accumulated gradient and
+// momentum buffer.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+	vel  *tensor.Tensor
+}
+
+func newParam(name string, data *tensor.Tensor) *Param {
+	return &Param{
+		Name: name,
+		Data: data,
+		Grad: tensor.New(data.Shape...),
+		vel:  tensor.New(data.Shape...),
+	}
+}
+
+// Layer is a differentiable module. Backward consumes the gradient w.r.t.
+// the layer's output and returns the gradient w.r.t. its input, adding
+// parameter gradients into the Params' Grad buffers.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// --- Conv2D -----------------------------------------------------------------
+
+// Conv2D is a 2-D convolution with bias.
+type Conv2D struct {
+	Spec   tensor.ConvSpec
+	Weight *Param
+	Bias   *Param
+	x      *tensor.Tensor
+}
+
+// NewConv2D builds a convolution with He-normal initialization.
+func NewConv2D(name string, rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	spec := tensor.ConvSpec{
+		InC: inC, OutC: outC, KH: k, KW: k,
+		StrideH: stride, StrideW: stride, PadH: pad, PadW: pad,
+	}
+	w := tensor.New(outC, inC, k, k)
+	w.Randn(rng, math.Sqrt(2.0/float64(inC*k*k)))
+	return &Conv2D{
+		Spec:   spec,
+		Weight: newParam(name+".weight", w),
+		Bias:   newParam(name+".bias", tensor.New(outC)),
+	}
+}
+
+// Forward runs the convolution, caching the input for backward.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		c.x = x
+	}
+	return tensor.Conv2D(x, c.Weight.Data, c.Bias.Data, c.Spec)
+}
+
+// Backward accumulates weight/bias gradients and returns dx.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx, dw, db := tensor.Conv2DBackward(c.x, c.Weight.Data, dy, c.Spec)
+	c.Weight.Grad.AddInPlace(dw)
+	c.Bias.Grad.AddInPlace(db)
+	return dx
+}
+
+// Params returns the weight and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// --- Linear -----------------------------------------------------------------
+
+// Linear is a fully connected layer over [N, In] inputs.
+type Linear struct {
+	In, Out int
+	Weight  *Param // [In, Out]
+	Bias    *Param // [Out]
+	x       *tensor.Tensor
+}
+
+// NewLinear builds a dense layer with He-normal initialization.
+func NewLinear(name string, rng *rand.Rand, in, out int) *Linear {
+	w := tensor.New(in, out)
+	w.Randn(rng, math.Sqrt(2.0/float64(in)))
+	return &Linear{
+		In: in, Out: out,
+		Weight: newParam(name+".weight", w),
+		Bias:   newParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// Forward computes x·W + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.x = x
+	}
+	n := x.Shape[0]
+	out := tensor.New(n, l.Out)
+	for i := 0; i < n; i++ {
+		for o := 0; o < l.Out; o++ {
+			s := l.Bias.Data.Data[o]
+			for j := 0; j < l.In; j++ {
+				s += x.Data[i*l.In+j] * l.Weight.Data.Data[j*l.Out+o]
+			}
+			out.Data[i*l.Out+o] = s
+		}
+	}
+	return out
+}
+
+// Backward accumulates gradients and returns dx.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n := dy.Shape[0]
+	dx := tensor.New(n, l.In)
+	for i := 0; i < n; i++ {
+		for o := 0; o < l.Out; o++ {
+			g := dy.Data[i*l.Out+o]
+			l.Bias.Grad.Data[o] += g
+			for j := 0; j < l.In; j++ {
+				l.Weight.Grad.Data[j*l.Out+o] += g * l.x.Data[i*l.In+j]
+				dx.Data[i*l.In+j] += g * l.Weight.Data.Data[j*l.Out+o]
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// --- ReLU ---------------------------------------------------------------
+
+// ReLU is the rectified linear activation. It records the sign mask — the
+// 1-bit-per-element information MBS stashes instead of the activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		r.mask = make([]bool, len(x.Data))
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			if train {
+				r.mask[i] = true
+			}
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the stored sign mask.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (r *ReLU) Params() []*Param { return nil }
+
+// --- MaxPool ------------------------------------------------------------
+
+// MaxPool2 is k x k max pooling.
+type MaxPool2 struct {
+	K, Stride int
+	arg       []int
+	inShape   []int
+}
+
+// Forward pools and records argmax positions.
+func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, p.K, p.Stride)
+	if train {
+		p.arg = arg
+		p.inShape = append([]int(nil), x.Shape...)
+	}
+	return out
+}
+
+// Backward scatters gradients to the argmax positions.
+func (p *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool2DBackward(dy, p.arg, p.inShape)
+}
+
+// Params returns nil.
+func (p *MaxPool2) Params() []*Param { return nil }
+
+// --- GlobalAvgPool --------------------------------------------------------
+
+// GlobalAvgPool reduces spatial dims to 1x1 and flattens to [N, C].
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// Forward averages each channel.
+func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		p.inShape = append([]int(nil), x.Shape...)
+	}
+	return tensor.GlobalAvgPool(x)
+}
+
+// Backward broadcasts the gradient uniformly.
+func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return tensor.GlobalAvgPoolBackward(dy, p.inShape)
+}
+
+// Params returns nil.
+func (p *GlobalAvgPool) Params() []*Param { return nil }
+
+// --- Sequential -----------------------------------------------------------
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params concatenates all layers' parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every parameter gradient.
+func ZeroGrads(m Layer) {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// validateShape panics with a readable message on rank mismatches.
+func validateShape(x *tensor.Tensor, rank int, who string) {
+	if len(x.Shape) != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got %v", who, rank, x.Shape))
+	}
+}

@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+const normEps = 1e-5
+
+// BatchNorm2D normalizes across the batch and spatial dimensions per
+// channel (Ioffe & Szegedy). Its statistics couple every sample in the
+// mini-batch, which is exactly why it cannot be serialized by MBS.
+type BatchNorm2D struct {
+	C            int
+	Gamma, Beta  *Param
+	Momentum     float64
+	RunningMean  []float64
+	RunningVar   []float64
+	x            *tensor.Tensor
+	xhat         *tensor.Tensor
+	mean, invStd []float64
+	// LastPreActMean records the mean of the normalized output (the
+	// "pre-activation mean" curve of Fig. 6's right panels).
+	LastPreActMean float64
+}
+
+// NewBatchNorm2D builds a BN layer with gamma=1, beta=0.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	g := tensor.New(c)
+	g.Fill(1)
+	rv := make([]float64, c)
+	for i := range rv {
+		rv[i] = 1
+	}
+	return &BatchNorm2D{
+		C:           c,
+		Gamma:       newParam(name+".gamma", g),
+		Beta:        newParam(name+".beta", tensor.New(c)),
+		Momentum:    0.9,
+		RunningMean: make([]float64, c),
+		RunningVar:  rv,
+	}
+}
+
+// Forward normalizes with batch statistics in training mode and running
+// statistics in evaluation mode.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	validateShape(x, 4, "BatchNorm2D")
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(x.Shape...)
+	if !train {
+		for ni := 0; ni < n; ni++ {
+			for ci := 0; ci < c; ci++ {
+				inv := 1 / math.Sqrt(b.RunningVar[ci]+normEps)
+				g, be := b.Gamma.Data.Data[ci], b.Beta.Data.Data[ci]
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						v := (x.At4(ni, ci, hi, wi) - b.RunningMean[ci]) * inv
+						out.Set4(ni, ci, hi, wi, g*v+be)
+					}
+				}
+			}
+		}
+		return out
+	}
+
+	b.x = x
+	b.mean = make([]float64, c)
+	b.invStd = make([]float64, c)
+	b.xhat = tensor.New(x.Shape...)
+	cnt := float64(n * h * w)
+	for ci := 0; ci < c; ci++ {
+		var sum float64
+		for ni := 0; ni < n; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					sum += x.At4(ni, ci, hi, wi)
+				}
+			}
+		}
+		mean := sum / cnt
+		var vsum float64
+		for ni := 0; ni < n; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					d := x.At4(ni, ci, hi, wi) - mean
+					vsum += d * d
+				}
+			}
+		}
+		variance := vsum / cnt
+		b.mean[ci] = mean
+		b.invStd[ci] = 1 / math.Sqrt(variance+normEps)
+		b.RunningMean[ci] = b.Momentum*b.RunningMean[ci] + (1-b.Momentum)*mean
+		b.RunningVar[ci] = b.Momentum*b.RunningVar[ci] + (1-b.Momentum)*variance
+
+		g, be := b.Gamma.Data.Data[ci], b.Beta.Data.Data[ci]
+		for ni := 0; ni < n; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					xh := (x.At4(ni, ci, hi, wi) - mean) * b.invStd[ci]
+					b.xhat.Set4(ni, ci, hi, wi, xh)
+					out.Set4(ni, ci, hi, wi, g*xh+be)
+				}
+			}
+		}
+	}
+	b.LastPreActMean = out.Mean()
+	return out
+}
+
+// Backward computes BN gradients (standard reduction over batch+spatial).
+func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
+	dx := tensor.New(dy.Shape...)
+	cnt := float64(n * h * w)
+	for ci := 0; ci < c; ci++ {
+		var sumDy, sumDyXhat float64
+		for ni := 0; ni < n; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					g := dy.At4(ni, ci, hi, wi)
+					sumDy += g
+					sumDyXhat += g * b.xhat.At4(ni, ci, hi, wi)
+				}
+			}
+		}
+		b.Beta.Grad.Data[ci] += sumDy
+		b.Gamma.Grad.Data[ci] += sumDyXhat
+		gamma := b.Gamma.Data.Data[ci]
+		for ni := 0; ni < n; ni++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					g := dy.At4(ni, ci, hi, wi)
+					xh := b.xhat.At4(ni, ci, hi, wi)
+					v := gamma * b.invStd[ci] * (g - sumDy/cnt - xh*sumDyXhat/cnt)
+					dx.Set4(ni, ci, hi, wi, v)
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// GroupNorm normalizes across channel groups within each sample (Wu & He).
+// Because its statistics never cross sample boundaries, serializing the
+// mini-batch into sub-batches leaves its computation bit-identical — the
+// property MBS relies on (Section 3.1).
+type GroupNorm struct {
+	C, Groups   int
+	Gamma, Beta *Param
+	x           *tensor.Tensor
+	xhat        *tensor.Tensor
+	invStd      []float64 // per (sample, group)
+	// LastPreActMean mirrors BatchNorm2D's Fig. 6 instrumentation.
+	LastPreActMean float64
+}
+
+// NewGroupNorm builds a GN layer; groups must divide c.
+func NewGroupNorm(name string, c, groups int) *GroupNorm {
+	if c%groups != 0 {
+		panic("nn: GroupNorm groups must divide channels")
+	}
+	g := tensor.New(c)
+	g.Fill(1)
+	return &GroupNorm{
+		C: c, Groups: groups,
+		Gamma: newParam(name+".gamma", g),
+		Beta:  newParam(name+".beta", tensor.New(c)),
+	}
+}
+
+// Forward normalizes each (sample, group) slice independently.
+func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	validateShape(x, 4, "GroupNorm")
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(x.Shape...)
+	cpg := c / gn.Groups
+	cnt := float64(cpg * h * w)
+	if train {
+		gn.x = x
+		gn.xhat = tensor.New(x.Shape...)
+		gn.invStd = make([]float64, n*gn.Groups)
+	}
+	for ni := 0; ni < n; ni++ {
+		for gi := 0; gi < gn.Groups; gi++ {
+			var sum float64
+			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						sum += x.At4(ni, ci, hi, wi)
+					}
+				}
+			}
+			mean := sum / cnt
+			var vsum float64
+			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						d := x.At4(ni, ci, hi, wi) - mean
+						vsum += d * d
+					}
+				}
+			}
+			inv := 1 / math.Sqrt(vsum/cnt+normEps)
+			if train {
+				gn.invStd[ni*gn.Groups+gi] = inv
+			}
+			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
+				g, be := gn.Gamma.Data.Data[ci], gn.Beta.Data.Data[ci]
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						xh := (x.At4(ni, ci, hi, wi) - mean) * inv
+						if train {
+							gn.xhat.Set4(ni, ci, hi, wi, xh)
+						}
+						out.Set4(ni, ci, hi, wi, g*xh+be)
+					}
+				}
+			}
+		}
+	}
+	gn.LastPreActMean = out.Mean()
+	return out
+}
+
+// Backward computes GN gradients per (sample, group).
+func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
+	dx := tensor.New(dy.Shape...)
+	cpg := c / gn.Groups
+	cnt := float64(cpg * h * w)
+	// Parameter gradients reduce over batch and spatial dims per channel.
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					g := dy.At4(ni, ci, hi, wi)
+					gn.Beta.Grad.Data[ci] += g
+					gn.Gamma.Grad.Data[ci] += g * gn.xhat.At4(ni, ci, hi, wi)
+				}
+			}
+		}
+	}
+	for ni := 0; ni < n; ni++ {
+		for gi := 0; gi < gn.Groups; gi++ {
+			var sumG, sumGXhat float64
+			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
+				gamma := gn.Gamma.Data.Data[ci]
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						g := dy.At4(ni, ci, hi, wi) * gamma
+						sumG += g
+						sumGXhat += g * gn.xhat.At4(ni, ci, hi, wi)
+					}
+				}
+			}
+			inv := gn.invStd[ni*gn.Groups+gi]
+			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
+				gamma := gn.Gamma.Data.Data[ci]
+				for hi := 0; hi < h; hi++ {
+					for wi := 0; wi < w; wi++ {
+						g := dy.At4(ni, ci, hi, wi) * gamma
+						xh := gn.xhat.At4(ni, ci, hi, wi)
+						v := inv * (g - sumG/cnt - xh*sumGXhat/cnt)
+						dx.Set4(ni, ci, hi, wi, v)
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (gn *GroupNorm) Params() []*Param { return []*Param{gn.Gamma, gn.Beta} }

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestResidualIdentityForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// A main branch initialized to zero weights: output = ReLU(x).
+	conv := NewConv2D("c", rng, 4, 4, 3, 1, 1)
+	conv.Weight.Data.Zero()
+	conv.Bias.Data.Zero()
+	r := NewResidual(&Sequential{Layers: []Layer{conv}}, nil)
+	x := tensor.New(2, 4, 5, 5)
+	x.Randn(rng, 1)
+	y := r.Forward(x, false)
+	for i, v := range x.Data {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(y.Data[i]-want) > 1e-12 {
+			t.Fatalf("y[%d] = %g, want ReLU(x) = %g", i, y.Data[i], want)
+		}
+	}
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	main := &Sequential{Layers: []Layer{
+		NewConv2D("m1", rng, 3, 3, 3, 1, 1),
+		NewGroupNorm("gn", 3, 3),
+	}}
+	short := &Sequential{Layers: []Layer{
+		NewConv2D("sc", rng, 3, 3, 1, 1, 0),
+	}}
+	r := NewResidual(main, short)
+	x := tensor.New(2, 3, 4, 4)
+	x.Randn(rng, 1)
+	numericGradCheck(t, "residual", r, x, rng)
+}
+
+func TestResidualStridedProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := BuildSmallResNet(rng, 3, 16, 8, NormGroup, 4)
+	x := tensor.New(2, 3, 16, 16)
+	x.Randn(rng, 1)
+	y := m.Net.Forward(x, false)
+	if y.Shape[0] != 2 || y.Shape[1] != 8 {
+		t.Errorf("output shape %v", y.Shape)
+	}
+}
+
+// TestMBSEquivalenceThroughResidualTopology extends the central equivalence
+// property to multi-branch networks: sub-batch serialization with GN stays
+// exact even when branches share inputs and gradients sum at split points —
+// numerically backing the paper's Eq. 1 multi-branch reuse.
+func TestMBSEquivalenceThroughResidualTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := BuildSmallResNet(rng, 3, 16, 8, NormGroup, 4)
+	x := tensor.New(10, 3, 16, 16)
+	x.Randn(rng, 1)
+	labels := make([]int, 10)
+	for i := range labels {
+		labels[i] = rng.Intn(8)
+	}
+	m.AccumulateGradsFull(x, labels)
+	ref := map[string]*tensor.Tensor{}
+	for _, p := range m.Net.Params() {
+		ref[p.Name] = p.Grad.Clone()
+	}
+	for _, sub := range []int{1, 3, 4, 10} {
+		m.AccumulateGradsMBS(x, labels, sub)
+		for _, p := range m.Net.Params() {
+			if d := p.Grad.MaxAbsDiff(ref[p.Name]); d > 1e-9 {
+				t.Errorf("sub=%d: %s differs by %g", sub, p.Name, d)
+			}
+		}
+	}
+}
+
+func TestResidualTrainingLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	rng := rand.New(rand.NewSource(25))
+	m := BuildSmallResNet(rng, 3, 8, 2, NormGroup, 4)
+	// Two trivially separable classes: constant-sign images.
+	n := 32
+	x := tensor.New(n, 3, 8, 8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := 1.0
+		if i%2 == 1 {
+			v = -1.0
+			labels[i] = 1
+		}
+		for j := 0; j < x.Len()/n; j++ {
+			x.Data[i*(x.Len()/n)+j] = v + rng.NormFloat64()*0.2
+		}
+	}
+	opt := &SGD{LR: 0.05, Momentum: 0.9}
+	for step := 0; step < 30; step++ {
+		m.TrainStepMBS(x, labels, 4, opt)
+	}
+	if acc := m.Evaluate(x, labels); acc < 0.95 {
+		t.Errorf("residual net failed to learn a trivial task: acc %.2f", acc)
+	}
+}
+
+func TestResidualShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	// Main branch changes channels but shortcut is identity: must panic.
+	main := &Sequential{Layers: []Layer{NewConv2D("m", rng, 3, 8, 3, 1, 1)}}
+	r := NewResidual(main, nil)
+	x := tensor.New(1, 3, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected shape mismatch panic")
+		}
+	}()
+	r.Forward(x, false)
+}

@@ -1,0 +1,256 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
+// logits [N, K] with integer labels, returning the loss and dLogits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d samples", len(labels), n))
+	}
+	grad := tensor.New(n, k)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logZ := math.Log(sum) + maxv
+		loss += logZ - row[labels[i]]
+		inv := 1.0 / float64(n)
+		for j := 0; j < k; j++ {
+			p := math.Exp(row[j] - logZ)
+			g := p
+			if j == labels[i] {
+				g -= 1
+			}
+			grad.Data[i*k+j] = g * inv
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// SGD is stochastic gradient descent with momentum and weight decay
+// (Sutskever-style, as used for the paper's Fig. 6 training runs).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+}
+
+// Step applies one update to every parameter and leaves gradients intact
+// (callers zero them at the start of the next accumulation).
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.Data.Data {
+			g := p.Grad.Data[i] + o.WeightDecay*p.Data.Data[i]
+			p.vel.Data[i] = o.Momentum*p.vel.Data[i] - o.LR*g
+			p.Data.Data[i] += p.vel.Data[i]
+		}
+	}
+}
+
+// Model wraps a Sequential with its classifier head conveniences.
+type Model struct {
+	Net *Sequential
+}
+
+// Loss runs a forward pass and the loss on a full batch.
+func (m *Model) Loss(x *tensor.Tensor, labels []int, train bool) (float64, *tensor.Tensor) {
+	logits := m.Net.Forward(x, train)
+	return SoftmaxCrossEntropy(logits, labels)
+}
+
+// TrainStepFull runs one conventional training step: the entire mini-batch
+// propagates through every layer together (the paper's baseline flow).
+// Returns the loss.
+func (m *Model) TrainStepFull(x *tensor.Tensor, labels []int, opt *SGD) float64 {
+	ZeroGrads(m.Net)
+	loss, dlogits := m.Loss(x, labels, true)
+	m.Net.Backward(dlogits)
+	opt.Step(m.Net.Params())
+	return loss
+}
+
+// TrainStepMBS runs one MBS training step: the mini-batch is serialized
+// into sub-batches of at most subBatch samples; each sub-batch runs its own
+// forward and backward pass and parameter gradients accumulate across
+// sub-batches (the paper's "Data Synchronization" rule). The parameter
+// update happens once, after all sub-batches — preserving the original
+// synchronization points of the mini-batch.
+//
+// With GroupNorm (per-sample statistics) this computes exactly the same
+// gradients as TrainStepFull; with BatchNorm it silently changes the
+// statistics, which is why the paper adapts GN for MBS.
+func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *SGD) float64 {
+	n := x.Shape[0]
+	if subBatch <= 0 || subBatch > n {
+		subBatch = n
+	}
+	ZeroGrads(m.Net)
+	var loss float64
+	for from := 0; from < n; from += subBatch {
+		to := from + subBatch
+		if to > n {
+			to = n
+		}
+		xs := tensor.SliceBatch(x, from, to)
+		ls := labels[from:to]
+		logits := m.Net.Forward(xs, true)
+		subLoss, dlogits := SoftmaxCrossEntropy(logits, ls)
+		// The loss averages over the sub-batch; re-scale so that gradient
+		// contributions accumulate to the full-batch mean.
+		scale := float64(to-from) / float64(n)
+		dlogits.Scale(scale)
+		m.Net.Backward(dlogits)
+		loss += subLoss * scale
+	}
+	opt.Step(m.Net.Params())
+	return loss
+}
+
+// AccumulateGradsFull computes full-batch gradients without updating
+// parameters (test hook for the equivalence property).
+func (m *Model) AccumulateGradsFull(x *tensor.Tensor, labels []int) float64 {
+	ZeroGrads(m.Net)
+	loss, dlogits := m.Loss(x, labels, true)
+	m.Net.Backward(dlogits)
+	return loss
+}
+
+// AccumulateGradsMBS computes MBS-serialized gradients without updating
+// parameters (test hook for the equivalence property).
+func (m *Model) AccumulateGradsMBS(x *tensor.Tensor, labels []int, subBatch int) float64 {
+	n := x.Shape[0]
+	ZeroGrads(m.Net)
+	var loss float64
+	for from := 0; from < n; from += subBatch {
+		to := from + subBatch
+		if to > n {
+			to = n
+		}
+		xs := tensor.SliceBatch(x, from, to)
+		logits := m.Net.Forward(xs, true)
+		subLoss, dlogits := SoftmaxCrossEntropy(logits, labels[from:to])
+		scale := float64(to-from) / float64(n)
+		dlogits.Scale(scale)
+		m.Net.Backward(dlogits)
+		loss += subLoss * scale
+	}
+	return loss
+}
+
+// Evaluate returns classification accuracy on a labeled set.
+func (m *Model) Evaluate(x *tensor.Tensor, labels []int) float64 {
+	logits := m.Net.Forward(x, false)
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for i := 0; i < n; i++ {
+		best, bi := logits.Data[i*k], 0
+		for j := 1; j < k; j++ {
+			if v := logits.Data[i*k+j]; v > best {
+				best, bi = v, j
+			}
+		}
+		if bi == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// NormKind selects the normalization layer of a model.
+type NormKind int
+
+const (
+	// NormBatch uses BatchNorm2D (the conventional baseline).
+	NormBatch NormKind = iota
+	// NormGroup uses GroupNorm (the MBS-compatible choice).
+	NormGroup
+	// NormNone omits normalization (Fig. 6's left panel).
+	NormNone
+)
+
+func (k NormKind) String() string {
+	switch k {
+	case NormBatch:
+		return "BN"
+	case NormGroup:
+		return "GN"
+	case NormNone:
+		return "none"
+	default:
+		return "NormKind?"
+	}
+}
+
+// NormLayers returns the normalization layers of a model, in depth order
+// (Fig. 6 plots the first and last of these).
+func (m *Model) NormLayers() []Layer {
+	var out []Layer
+	for _, l := range m.Net.Layers {
+		switch l.(type) {
+		case *BatchNorm2D, *GroupNorm:
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// PreActMean extracts the recorded pre-activation mean of a norm layer.
+func PreActMean(l Layer) float64 {
+	switch v := l.(type) {
+	case *BatchNorm2D:
+		return v.LastPreActMean
+	case *GroupNorm:
+		return v.LastPreActMean
+	default:
+		return math.NaN()
+	}
+}
+
+// BuildSmallCNN builds the Fig. 6 substitute classifier for inC x size x
+// size inputs and `classes` outputs:
+//
+//	conv3x3(16) norm relu → conv3x3/2(32) norm relu →
+//	conv3x3/2(64) norm relu → GAP → linear(classes)
+//
+// The structure mirrors a ResNet stem + stages at laptop scale; norm
+// selects BN, GN (8 groups) or none.
+func BuildSmallCNN(rng *rand.Rand, inC, size, classes int, norm NormKind, gnGroups int) *Model {
+	widths := []int{16, 32, 64}
+	var layers []Layer
+	c := inC
+	for i, w := range widths {
+		stride := 2
+		if i == 0 {
+			stride = 1
+		}
+		layers = append(layers, NewConv2D(fmt.Sprintf("conv%d", i+1), rng, c, w, 3, stride, 1))
+		switch norm {
+		case NormBatch:
+			layers = append(layers, NewBatchNorm2D(fmt.Sprintf("bn%d", i+1), w))
+		case NormGroup:
+			layers = append(layers, NewGroupNorm(fmt.Sprintf("gn%d", i+1), w, gnGroups))
+		}
+		layers = append(layers, &ReLU{})
+		c = w
+	}
+	layers = append(layers, &GlobalAvgPool{})
+	layers = append(layers, NewLinear("fc", rng, c, classes))
+	return &Model{Net: &Sequential{Layers: layers}}
+}

@@ -1,0 +1,149 @@
+// Package report renders aligned text tables and CSV series so every
+// experiment binary prints rows that mirror the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of string cells and renders them aligned.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// RowF appends a row of pre-formatted strings.
+func (t *Table) RowF(cells ...string) {
+	t.rows = append(t.rows, append([]string(nil), cells...))
+}
+
+// widths computes per-column widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	ws := t.widths()
+	var head strings.Builder
+	for i, h := range t.headers {
+		fmt.Fprintf(&head, "%-*s  ", ws[i], h)
+	}
+	line := strings.TrimRight(head.String(), " ")
+	fmt.Fprintln(w, line)
+	fmt.Fprintln(w, strings.Repeat("-", len(line)))
+	for _, r := range t.rows {
+		var b strings.Builder
+		for i, c := range r {
+			if i < len(ws) {
+				fmt.Fprintf(&b, "%-*s  ", ws[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+}
+
+// CSV writes the table as comma-separated values (quotes are not needed for
+// the numeric content these tables carry).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.headers, ","))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Series is a named sequence of (x, y) points (one figure line/curve).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// RenderSeries writes one or more series as aligned columns keyed by X.
+func RenderSeries(w io.Writer, xLabel string, series ...*Series) {
+	if len(series) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, "  %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for i := range series[0].X {
+		fmt.Fprintf(w, "%-12.4g", series[0].X[i])
+		for _, s := range series {
+			if i < len(s.Y) {
+				fmt.Fprintf(w, "  %14.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(w, "  %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Bytes renders a byte count in human units.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Ms renders seconds as milliseconds.
+func Ms(sec float64) string { return fmt.Sprintf("%.2f ms", sec*1e3) }
+
+// Pct renders a ratio as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }

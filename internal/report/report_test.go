@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("title", "a", "bee", "c")
+	tab.Row("x", 1.5, 42)
+	tab.RowF("yyyy", "z", "w")
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1.500") {
+		t.Error("float formatting missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: "bee" and "z" start at the same offset.
+	head := lines[1]
+	row := lines[4]
+	if strings.Index(head, "bee") != strings.Index(row, "z") {
+		t.Errorf("misaligned columns:\n%s\n%s", head, row)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.Row(1, 2)
+	var b strings.Builder
+	tab.CSV(&b)
+	want := "x,y\n1,2\n"
+	if b.String() != want {
+		t.Errorf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s1 := &Series{Name: "a"}
+	s1.Add(1, 10)
+	s1.Add(2, 20)
+	s2 := &Series{Name: "b"}
+	s2.Add(1, 30)
+	var b strings.Builder
+	RenderSeries(&b, "x", s1, s2)
+	out := b.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Error("missing series names")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("short series should pad with -")
+	}
+	// Rendering no series must not panic.
+	RenderSeries(&b, "x")
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestMsPct(t *testing.T) {
+	if Ms(0.0155) != "15.50 ms" {
+		t.Errorf("Ms = %q", Ms(0.0155))
+	}
+	if Pct(0.786) != "78.6%" {
+		t.Errorf("Pct = %q", Pct(0.786))
+	}
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// ScaleConfig describes a data-parallel training setup across multiple
+// WaveCore accelerators (Section 4.2, "Scalability"): each accelerator (or
+// core) runs the same MBS schedule on its slice of the global mini-batch
+// and the accelerators communicate only for loss computation and parameter
+// reduction and update.
+type ScaleConfig struct {
+	// Accelerators is the number of WaveCore chips.
+	Accelerators int
+	// InterconnectBytesPerSec is the per-link all-reduce bandwidth
+	// (e.g. 25 GB/s for a PCIe4 x16-class link, 100+ GB/s for NVLink-class
+	// fabrics).
+	InterconnectBytesPerSec float64
+	// LatencySec is the per-step fixed synchronization latency.
+	LatencySec float64
+}
+
+// DefaultScaleConfig returns a PCIe-class 25 GB/s ring with 20 us
+// synchronization latency.
+func DefaultScaleConfig(accelerators int) ScaleConfig {
+	return ScaleConfig{
+		Accelerators:            accelerators,
+		InterconnectBytesPerSec: 25e9,
+		LatencySec:              20e-6,
+	}
+}
+
+// ScaleResult is one multi-accelerator step estimate.
+type ScaleResult struct {
+	Accelerators int
+	// ComputeSeconds is the per-accelerator training-step time.
+	ComputeSeconds float64
+	// AllReduceSeconds is the gradient reduction time (ring all-reduce:
+	// 2(p-1)/p of the parameter bytes over the link).
+	AllReduceSeconds float64
+	// StepSeconds is the synchronized step time.
+	StepSeconds float64
+	// GlobalBatch is the summed mini-batch across accelerators.
+	GlobalBatch int
+	// Efficiency is the weak-scaling efficiency vs one accelerator.
+	Efficiency float64
+}
+
+// SimulateScaling estimates weak scaling: every accelerator runs the given
+// single-core schedule (same per-core batch, so the global batch grows with
+// the accelerator count) and gradients are ring-all-reduced between steps.
+// This is the paper's scalability argument made quantitative: MBS needs no
+// cross-accelerator communication beyond the parameter reduction every
+// conventional data-parallel trainer already performs.
+func SimulateScaling(s *core.Schedule, hw HW, cfg ScaleConfig) ([]ScaleResult, error) {
+	if cfg.Accelerators < 1 {
+		return nil, fmt.Errorf("sim: need at least one accelerator")
+	}
+	single, err := Simulate(s, hw)
+	if err != nil {
+		return nil, err
+	}
+	paramBytes := float64(s.Net.ParamBytes())
+	coresPerChip := hw.Cores
+	if coresPerChip < 1 {
+		coresPerChip = 1
+	}
+
+	var out []ScaleResult
+	for p := 1; p <= cfg.Accelerators; p++ {
+		r := ScaleResult{
+			Accelerators:   p,
+			ComputeSeconds: single.StepSeconds,
+			GlobalBatch:    p * coresPerChip * s.Opts.Batch,
+		}
+		if p > 1 {
+			// Ring all-reduce moves 2(p-1)/p of the gradient bytes per
+			// link, fp16 gradients.
+			vol := 2 * float64(p-1) / float64(p) * paramBytes
+			r.AllReduceSeconds = vol/cfg.InterconnectBytesPerSec + cfg.LatencySec
+		}
+		// The reduction overlaps poorly with MBS's last group (gradients
+		// for early layers finish last in back propagation), so charge it
+		// serially — a conservative bound.
+		r.StepSeconds = r.ComputeSeconds + r.AllReduceSeconds
+		r.Efficiency = single.StepSeconds / r.StepSeconds
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SamplesPerSecond converts a scale point into training throughput.
+func (r ScaleResult) SamplesPerSecond() float64 {
+	if r.StepSeconds <= 0 {
+		return 0
+	}
+	return float64(r.GlobalBatch) / r.StepSeconds
+}
+
+// ScaleSummary renders the scaling curve compactly.
+func ScaleSummary(results []ScaleResult) string {
+	out := "accel  global-batch  step(ms)  allreduce(ms)  eff    samples/s\n"
+	for _, r := range results {
+		out += fmt.Sprintf("%-5d  %-12d  %-8.2f  %-13.3f  %-5.2f  %.0f\n",
+			r.Accelerators, r.GlobalBatch, r.StepSeconds*1e3,
+			r.AllReduceSeconds*1e3, r.Efficiency, math.Floor(r.SamplesPerSecond()))
+	}
+	return out
+}

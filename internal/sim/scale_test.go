@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/models"
+)
+
+func TestScalingWeakEfficiency(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	hw := DefaultHW(core.MBS2, memsys.HBM2)
+	results, err := SimulateScaling(s, hw, DefaultScaleConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Efficiency != 1.0 || results[0].AllReduceSeconds != 0 {
+		t.Errorf("single accelerator should be the baseline: %+v", results[0])
+	}
+	for i := 1; i < len(results); i++ {
+		r := results[i]
+		if r.GlobalBatch != (i+1)*hw.Cores*32 {
+			t.Errorf("p=%d: global batch %d", i+1, r.GlobalBatch)
+		}
+		if r.Efficiency >= 1 || r.Efficiency <= 0 {
+			t.Errorf("p=%d: efficiency %f out of (0,1)", i+1, r.Efficiency)
+		}
+		if r.SamplesPerSecond() <= results[i-1].SamplesPerSecond() {
+			t.Errorf("p=%d: throughput did not grow", i+1)
+		}
+	}
+	// ResNet-50's 25M fp16 parameters over 25 GB/s stay a small fraction of
+	// a ~65 ms step: weak scaling efficiency must remain high.
+	if eff := results[7].Efficiency; eff < 0.90 {
+		t.Errorf("8-accelerator efficiency = %.2f, want > 0.90", eff)
+	}
+}
+
+func TestScalingAllReduceGrowsWithRing(t *testing.T) {
+	net, _ := models.Build("alexnet") // 61M params stress the reduction
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS1, 64))
+	hw := DefaultHW(core.MBS1, memsys.HBM2)
+	results, err := SimulateScaling(s, hw, DefaultScaleConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring volume 2(p-1)/p is increasing in p.
+	for i := 2; i < len(results); i++ {
+		if results[i].AllReduceSeconds <= results[i-1].AllReduceSeconds {
+			t.Errorf("p=%d: all-reduce time should grow", i+1)
+		}
+	}
+	// AlexNet's FC-heavy parameters make the reduction visible.
+	if results[3].AllReduceSeconds < 1e-3 {
+		t.Errorf("AlexNet all-reduce %.4fs implausibly small", results[3].AllReduceSeconds)
+	}
+}
+
+func TestScalingRejectsBadConfig(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	hw := DefaultHW(core.MBS2, memsys.HBM2)
+	if _, err := SimulateScaling(s, hw, ScaleConfig{Accelerators: 0}); err == nil {
+		t.Error("zero accelerators should error")
+	}
+}
+
+func TestScaleSummary(t *testing.T) {
+	net, _ := models.Build("resnet50")
+	s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+	hw := DefaultHW(core.MBS2, memsys.HBM2)
+	results, _ := SimulateScaling(s, hw, DefaultScaleConfig(2))
+	out := ScaleSummary(results)
+	if !strings.Contains(out, "samples/s") || len(strings.Split(out, "\n")) < 3 {
+		t.Errorf("bad summary: %q", out)
+	}
+}

@@ -1,0 +1,286 @@
+// Package sim is the end-to-end WaveCore training-step simulator: it walks
+// the traffic ledger produced by the MBS scheduler (internal/core), costs
+// every GEMM on the systolic-array model (internal/wavecore) and every
+// vector op on the vector units, overlaps compute with the memory system
+// (internal/memsys), and aggregates time, traffic, utilization and energy
+// (internal/energy). It also contains the analytical V100 comparator used
+// by Fig. 13.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/wavecore"
+)
+
+// HW is the hardware configuration of one WaveCore core plus its share of
+// the memory system.
+type HW struct {
+	Array  wavecore.Config
+	Vector wavecore.VectorUnit
+	DRAM   memsys.DRAM
+	GB     memsys.GlobalBuffer
+	Energy energy.Model
+	// Cores on the chip; each runs an equal slice of the chip mini-batch,
+	// so chip step time equals core step time.
+	Cores int
+}
+
+// DefaultHW returns the paper's baseline WaveCore: 128x128 array at 0.7 GHz
+// (double buffering per the configuration), 10 MiB global buffer, and the
+// given DRAM shared by two cores.
+func DefaultHW(cfg core.Config, dram memsys.DRAM) HW {
+	return HW{
+		Array:  wavecore.DefaultConfig(cfg.DoubleBuffered()),
+		Vector: wavecore.DefaultVectorUnit(),
+		DRAM:   dram,
+		GB:     memsys.DefaultGlobalBuffer(),
+		Energy: energy.DefaultModel(),
+		Cores:  2,
+	}
+}
+
+// coreDRAMBandwidth is this core's share of the chip's DRAM bandwidth.
+func (hw HW) coreDRAMBandwidth() float64 {
+	c := hw.Cores
+	if c <= 0 {
+		c = 1
+	}
+	return hw.DRAM.BandwidthBytes / float64(c)
+}
+
+// KindClass buckets layer kinds the way Fig. 12's breakdown does.
+type KindClass int
+
+const (
+	// ClassConv covers convolution GEMMs.
+	ClassConv KindClass = iota
+	// ClassFC covers fully connected GEMMs.
+	ClassFC
+	// ClassNorm covers normalization and activation passes (the paper's
+	// NORM/RELU bucket).
+	ClassNorm
+	// ClassPool covers pooling.
+	ClassPool
+	// ClassSum covers residual merges and split-point gradient sums.
+	ClassSum
+)
+
+// Classes lists the buckets in Fig. 12's legend order.
+var Classes = []KindClass{ClassSum, ClassPool, ClassNorm, ClassFC, ClassConv}
+
+func (k KindClass) String() string {
+	switch k {
+	case ClassConv:
+		return "Conv"
+	case ClassFC:
+		return "FC"
+	case ClassNorm:
+		return "Norm"
+	case ClassPool:
+		return "Pool"
+	case ClassSum:
+		return "Sum"
+	default:
+		return fmt.Sprintf("KindClass(%d)", int(k))
+	}
+}
+
+// classOf maps a ledger item kind to its Fig. 12 bucket.
+func classOf(k graph.LayerKind) KindClass {
+	switch k {
+	case graph.Conv:
+		return ClassConv
+	case graph.FC:
+		return ClassFC
+	case graph.Norm, graph.Act:
+		return ClassNorm
+	case graph.Pool:
+		return ClassPool
+	default:
+		return ClassSum
+	}
+}
+
+// ItemResult is the simulated cost of one ledger item.
+type ItemResult struct {
+	Item       *core.Item
+	Class      KindClass
+	Cycles     int64 // systolic cycles (GEMM items only)
+	MACs       int64 // useful MACs (GEMM) or vector ops
+	ComputeSec float64
+	MemSec     float64
+	Seconds    float64 // max(compute, memory) — double-buffered overlap
+}
+
+// Result aggregates a full training step on one core.
+type Result struct {
+	Network  string
+	Config   core.Config
+	Schedule *core.Schedule
+	HW       HW
+
+	StepSeconds float64
+	DRAMBytes   int64
+	GBBytes     int64
+
+	// Utilization is useful MACs over array capacity across all GEMM items
+	// (Fig. 14's metric; independent of memory bandwidth).
+	Utilization float64
+
+	GEMMCycles int64
+	GEMMMACs   int64
+	VectorOps  int64
+
+	Energy energy.Breakdown
+
+	TimeByClass map[KindClass]float64
+	Items       []ItemResult
+}
+
+// Simulate runs one training step of the schedule on the hardware.
+func Simulate(s *core.Schedule, hw HW) (*Result, error) {
+	if err := hw.Array.Validate(); err != nil {
+		return nil, err
+	}
+	tr := core.ComputeTraffic(s)
+	res := &Result{
+		Network:  s.Net.Name,
+		Config:   s.Opts.Config,
+		Schedule: s,
+		HW:       hw,
+		TimeByClass: map[KindClass]float64{
+			ClassConv: 0, ClassFC: 0, ClassNorm: 0, ClassPool: 0, ClassSum: 0,
+		},
+	}
+	bw := hw.coreDRAMBandwidth()
+
+	for i := range tr.Items {
+		it := &tr.Items[i]
+		ir := ItemResult{Item: it, Class: classOf(it.Kind)}
+
+		memSec := float64(it.DRAM()) / bw
+		gbSec := hw.GB.TransferSeconds(it.GB())
+		if gbSec > memSec {
+			memSec = gbSec
+		}
+		ir.MemSec = memSec
+
+		if it.Layer != nil && it.Layer.IsGEMM() {
+			cost := gemmCost(hw.Array, it)
+			ir.Cycles = cost.Cycles
+			ir.MACs = cost.MACs
+			ir.ComputeSec = hw.Array.Seconds(cost.Cycles)
+			res.GEMMCycles += cost.Cycles
+			res.GEMMMACs += cost.MACs
+		} else {
+			ops := vectorOps(it)
+			ir.MACs = ops
+			ir.ComputeSec = hw.Vector.Seconds(ops)
+			res.VectorOps += ops
+		}
+
+		ir.Seconds = math.Max(ir.ComputeSec, ir.MemSec)
+		res.StepSeconds += ir.Seconds
+		res.DRAMBytes += it.DRAM()
+		res.GBBytes += it.GB()
+		res.TimeByClass[ir.Class] += ir.Seconds
+		res.Items = append(res.Items, ir)
+	}
+
+	if res.GEMMCycles > 0 {
+		res.Utilization = float64(res.GEMMMACs) /
+			(float64(res.GEMMCycles) * float64(hw.Array.PEs()))
+	}
+	res.Energy = hw.Energy.Step(
+		res.DRAMBytes, res.GBBytes, res.GEMMMACs, res.VectorOps,
+		hw.DRAM.EnergyPerByte, hw.GB.EnergyPerByte, res.StepSeconds)
+	return res, nil
+}
+
+// MustSimulate is Simulate that panics on error.
+func MustSimulate(s *core.Schedule, hw HW) *Result {
+	r, err := Simulate(s, hw)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// gemmCost sums the systolic cost of a GEMM item across the group's
+// (balanced) sub-batch iterations, building the phase-appropriate im2col
+// dimensions of Tab. 1 per iteration.
+func gemmCost(cfg wavecore.Config, it *core.Item) wavecore.Cost {
+	sizes := iterationSizes(it)
+	var total wavecore.Cost
+	// Group identical sizes to avoid recomputation.
+	counts := map[int]int{}
+	for _, n := range sizes {
+		counts[n]++
+	}
+	for n, cnt := range counts {
+		var g wavecore.GEMM
+		var ok bool
+		switch it.Phase {
+		case core.PhaseFwd:
+			g, ok = wavecore.ForwardGEMM(it.Layer, n)
+		case core.PhaseBwdData:
+			g, ok = wavecore.DataGradGEMM(it.Layer, n)
+		case core.PhaseBwdWeight:
+			g, ok = wavecore.WeightGradGEMM(it.Layer, n)
+		}
+		if !ok {
+			continue
+		}
+		c := cfg.GEMMCost(g)
+		total.Add(wavecore.Cost{Cycles: c.Cycles * int64(cnt), MACs: c.MACs * int64(cnt)})
+	}
+	return total
+}
+
+// iterationSizes reconstructs the balanced per-iteration sample counts for
+// an item from its group parameters.
+func iterationSizes(it *core.Item) []int {
+	g := core.Group{SubBatch: it.SubBatch, Iterations: it.Iterations}
+	return g.SubBatchSizes(it.Batch)
+}
+
+// vectorOps estimates the elementwise operation count of a non-GEMM item:
+// one op per element moved through the vector units (the larger of reads
+// and writes, in 16-bit elements).
+func vectorOps(it *core.Item) int64 {
+	moved := it.GBRead
+	if it.GBWrite > moved {
+		moved = it.GBWrite
+	}
+	return moved / graph.WordBytes
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: %.2f ms, DRAM %.2f GB, GB %.2f GB, util %.1f%%, energy %.2f J",
+		r.Network, r.Config, r.StepSeconds*1e3,
+		float64(r.DRAMBytes)/1e9, float64(r.GBBytes)/1e9,
+		r.Utilization*100, r.Energy.Total())
+}
+
+// BreakdownString renders the Fig. 12-style per-class time breakdown.
+func (r *Result) BreakdownString() string {
+	var b strings.Builder
+	classes := make([]KindClass, 0, len(r.TimeByClass))
+	for k := range r.TimeByClass {
+		classes = append(classes, k)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, k := range classes {
+		fmt.Fprintf(&b, "%s=%.2fms ", k, r.TimeByClass[k]*1e3)
+	}
+	return strings.TrimSpace(b.String())
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/models"
+)
+
+func simulate(t testing.TB, name string, cfg core.Config, dram memsys.DRAM) *Result {
+	t.Helper()
+	net, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.MustPlan(net, core.DefaultOptions(cfg, models.DefaultBatch(name)))
+	r, err := Simulate(s, DefaultHW(cfg, dram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResultSanity(t *testing.T) {
+	r := simulate(t, "resnet50", core.MBS2, memsys.HBM2)
+	if r.StepSeconds <= 0 || r.DRAMBytes <= 0 || r.GBBytes < r.DRAMBytes {
+		t.Errorf("implausible result: %+v", r)
+	}
+	if r.Utilization <= 0 || r.Utilization > 1 {
+		t.Errorf("utilization out of range: %f", r.Utilization)
+	}
+	if r.Energy.Total() <= 0 {
+		t.Error("zero energy")
+	}
+	var sum float64
+	for _, v := range r.TimeByClass {
+		sum += v
+	}
+	if diff := sum - r.StepSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("class breakdown %.6f != step %.6f", sum, r.StepSeconds)
+	}
+}
+
+func TestFig10SpeedupOrdering(t *testing.T) {
+	// Fig. 10a: for deep CNNs, each configuration is at least as fast as
+	// the previous one: Baseline <= ArchOpt <= IL ... and MBS1/MBS2 win.
+	for _, name := range []string{"resnet50", "resnet101", "inceptionv3", "inceptionv4"} {
+		base := simulate(t, name, core.Baseline, memsys.HBM2).StepSeconds
+		arch := simulate(t, name, core.ArchOpt, memsys.HBM2).StepSeconds
+		il := simulate(t, name, core.IL, memsys.HBM2).StepSeconds
+		m1 := simulate(t, name, core.MBS1, memsys.HBM2).StepSeconds
+		m2 := simulate(t, name, core.MBS2, memsys.HBM2).StepSeconds
+		if !(arch < base && il < arch && m1 < il && m2 <= m1*1.001) {
+			t.Errorf("%s: time ordering violated: base=%.4f arch=%.4f il=%.4f m1=%.4f m2=%.4f",
+				name, base, arch, il, m1, m2)
+		}
+	}
+}
+
+func TestFig10HeadlineSpeedup(t *testing.T) {
+	// The paper reports 36-66% per-step speedup for MBS2 vs ArchOpt on the
+	// deep CNNs, and 53% combined (MBS2+WaveCore vs Baseline). Accept a
+	// generous band around those shapes.
+	for _, name := range []string{"resnet50", "resnet101", "resnet152"} {
+		arch := simulate(t, name, core.ArchOpt, memsys.HBM2).StepSeconds
+		m2 := simulate(t, name, core.MBS2, memsys.HBM2).StepSeconds
+		speedup := arch / m2
+		if speedup < 1.25 || speedup > 2.2 {
+			t.Errorf("%s: MBS2 speedup vs ArchOpt = %.2f, want 1.3-2.0", name, speedup)
+		}
+	}
+}
+
+func TestFig10EnergySavings(t *testing.T) {
+	// Fig. 10b: MBS2 saves 24-30% energy vs Baseline for the deep CNNs.
+	for _, name := range []string{"resnet50", "resnet101", "inceptionv3", "inceptionv4"} {
+		base := simulate(t, name, core.Baseline, memsys.HBM2).Energy.Total()
+		m2 := simulate(t, name, core.MBS2, memsys.HBM2).Energy.Total()
+		rel := m2 / base
+		if rel < 0.55 || rel > 0.85 {
+			t.Errorf("%s: MBS2 energy = %.2f of baseline, want ~0.70-0.76", name, rel)
+		}
+	}
+}
+
+func TestDRAMEnergyFractions(t *testing.T) {
+	// Section 6: DRAM is ~21.6% of baseline energy and drops to ~8.7%
+	// under MBS1 for ResNet50.
+	base := simulate(t, "resnet50", core.Baseline, memsys.HBM2).Energy.DRAMFraction()
+	m1 := simulate(t, "resnet50", core.MBS1, memsys.HBM2).Energy.DRAMFraction()
+	if base < 0.15 || base > 0.30 {
+		t.Errorf("baseline DRAM fraction = %.3f, want ~0.216", base)
+	}
+	if m1 < 0.05 || m1 > 0.16 {
+		t.Errorf("MBS1 DRAM fraction = %.3f, want ~0.087", m1)
+	}
+	if m1 >= base {
+		t.Error("MBS must shrink the DRAM energy share")
+	}
+}
+
+func TestFig14Utilization(t *testing.T) {
+	// Fig. 14 (unlimited DRAM bandwidth): Baseline averages ~54%, ArchOpt
+	// ~81%, MBS-FS dips below MBS1/2, and MBS1/2 land within a few percent
+	// of ArchOpt.
+	var baseSum, archSum, fsSum, m1Sum float64
+	names := []string{"resnet50", "resnet101", "resnet152", "inceptionv3", "inceptionv4", "alexnet"}
+	for _, name := range names {
+		dram := memsys.HBM2.Unlimited()
+		base := simulate(t, name, core.Baseline, dram).Utilization
+		arch := simulate(t, name, core.ArchOpt, dram).Utilization
+		fs := simulate(t, name, core.MBSFS, dram).Utilization
+		m1 := simulate(t, name, core.MBS1, dram).Utilization
+		if base >= arch {
+			t.Errorf("%s: baseline util %.3f >= ArchOpt %.3f", name, base, arch)
+		}
+		if fs >= m1 {
+			t.Errorf("%s: MBS-FS util %.3f >= MBS1 %.3f", name, fs, m1)
+		}
+		if m1 < arch*0.90 {
+			t.Errorf("%s: MBS1 util %.3f far below ArchOpt %.3f", name, m1, arch)
+		}
+		baseSum += base
+		archSum += arch
+		fsSum += fs
+		m1Sum += m1
+	}
+	n := float64(len(names))
+	if avg := baseSum / n; avg < 0.45 || avg > 0.70 {
+		t.Errorf("baseline average utilization = %.3f, want ~0.54", avg)
+	}
+	if avg := archSum / n; avg < 0.72 || avg > 0.97 {
+		t.Errorf("ArchOpt average utilization = %.3f, want ~0.81", avg)
+	}
+	if fsSum/n >= m1Sum/n {
+		t.Error("average MBS-FS utilization should trail MBS1")
+	}
+}
+
+func TestFig11BufferSensitivity(t *testing.T) {
+	// Fig. 11: MBS2 at a 5 MiB buffer still beats IL at 40 MiB on both
+	// traffic and time, and MBS varies little across buffer sizes.
+	net, _ := models.Build("resnet50")
+	run := func(cfg core.Config, mib int64) *Result {
+		opts := core.DefaultOptions(cfg, 32)
+		opts.BufferBytes = mib << 20
+		hw := DefaultHW(cfg, memsys.HBM2)
+		hw.GB = hw.GB.WithSize(opts.BufferBytes)
+		return MustSimulate(core.MustPlan(net, opts), hw)
+	}
+	il40 := run(core.IL, 40)
+	mbs5 := run(core.MBS2, 5)
+	mbs40 := run(core.MBS2, 40)
+	if mbs5.DRAMBytes >= il40.DRAMBytes {
+		t.Errorf("MBS2@5MiB traffic %d >= IL@40MiB %d", mbs5.DRAMBytes, il40.DRAMBytes)
+	}
+	if mbs5.StepSeconds >= il40.StepSeconds {
+		t.Errorf("MBS2@5MiB time %.4f >= IL@40MiB %.4f", mbs5.StepSeconds, il40.StepSeconds)
+	}
+	if variation := mbs5.StepSeconds/mbs40.StepSeconds - 1; variation > 0.30 {
+		t.Errorf("MBS2 time varies %.0f%% across 5-40MiB, want small", variation*100)
+	}
+}
+
+func TestFig12MemorySensitivity(t *testing.T) {
+	// Fig. 12: Baseline loses ~39% moving HBM2x2 -> LPDDR4; MBS2 loses
+	// less than ~20%.
+	baseH := simulate(t, "resnet50", core.Baseline, memsys.HBM2x2).StepSeconds
+	baseL := simulate(t, "resnet50", core.Baseline, memsys.LPDDR4).StepSeconds
+	mbsH := simulate(t, "resnet50", core.MBS2, memsys.HBM2x2).StepSeconds
+	mbsL := simulate(t, "resnet50", core.MBS2, memsys.LPDDR4).StepSeconds
+	baseDrop := baseL/baseH - 1
+	mbsDrop := mbsL/mbsH - 1
+	if baseDrop < 0.25 {
+		t.Errorf("baseline LPDDR4 slowdown = %.0f%%, want large", baseDrop*100)
+	}
+	if mbsDrop > 0.20 {
+		t.Errorf("MBS2 LPDDR4 slowdown = %.0f%%, want < 20%%", mbsDrop*100)
+	}
+	if mbsDrop >= baseDrop {
+		t.Error("MBS must be less bandwidth sensitive than baseline")
+	}
+}
+
+func TestFig13GPUComparison(t *testing.T) {
+	// Fig. 13: one WaveCore chip running MBS2 beats a V100 on every
+	// network and every memory type, including low-cost LPDDR4; the gap
+	// widens with network depth.
+	gpu := DefaultV100()
+	prev := 0.0
+	for _, name := range []string{"resnet50", "resnet101", "resnet152"} {
+		net, _ := models.Build(name)
+		gres := SimulateGPU(gpu, core.MustPlan(net, core.DefaultOptions(core.Baseline, 64)))
+		s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
+		for _, mem := range []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.HBM2, memsys.LPDDR4} {
+			r := MustSimulate(s, DefaultHW(core.MBS2, mem))
+			speedup := gres.StepSeconds / r.StepSeconds
+			if speedup < 1.0 {
+				t.Errorf("%s/%s: WaveCore loses to V100 (%.2f)", name, mem.Name, speedup)
+			}
+			if speedup > 1.6 {
+				t.Errorf("%s/%s: speedup %.2f implausibly high vs paper's 1.06-1.27", name, mem.Name, speedup)
+			}
+		}
+		wc := MustSimulate(s, DefaultHW(core.MBS2, memsys.HBM2x2))
+		ratio := gres.StepSeconds / wc.StepSeconds
+		if ratio < prev {
+			t.Errorf("%s: GPU gap shrank with depth (%.2f < %.2f)", name, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+func TestGPUModelBasics(t *testing.T) {
+	gpu := DefaultV100()
+	if gpu.kernelUtil(1) < gpu.MinUtil-1e-9 {
+		t.Error("tiny kernels must floor at MinUtil")
+	}
+	if gpu.kernelUtil(1<<62) != gpu.MaxUtil {
+		t.Error("huge kernels must cap at MaxUtil")
+	}
+	net, _ := models.Build("resnet50")
+	g := SimulateGPU(gpu, core.MustPlan(net, core.DefaultOptions(core.Baseline, 64)))
+	if g.StepSeconds <= 0 || g.Kernels == 0 || g.DRAMBytes <= 0 {
+		t.Errorf("implausible GPU result: %+v", g)
+	}
+}
+
+func TestKindClassMapping(t *testing.T) {
+	r := simulate(t, "resnet50", core.Baseline, memsys.HBM2)
+	for _, class := range []KindClass{ClassConv, ClassNorm, ClassPool, ClassSum, ClassFC} {
+		if r.TimeByClass[class] <= 0 {
+			t.Errorf("class %v has zero time", class)
+		}
+	}
+	// Conv dominates a ResNet (paper Fig. 12 breakdown).
+	if r.TimeByClass[ClassConv] < r.TimeByClass[ClassNorm] {
+		t.Error("conv time should dominate norm time on ResNet50")
+	}
+}
+
+func TestUtilizationIndependentOfBandwidth(t *testing.T) {
+	a := simulate(t, "resnet50", core.MBS1, memsys.HBM2).Utilization
+	b := simulate(t, "resnet50", core.MBS1, memsys.LPDDR4).Utilization
+	if a != b {
+		t.Errorf("utilization depends on memory type: %f vs %f", a, b)
+	}
+}
+
+func TestSimulateRejectsBadHW(t *testing.T) {
+	net, _ := models.Build("alexnet")
+	s := core.MustPlan(net, core.DefaultOptions(core.Baseline, 64))
+	hw := DefaultHW(core.Baseline, memsys.HBM2)
+	hw.Array.Rows = 0
+	if _, err := Simulate(s, hw); err == nil {
+		t.Error("invalid array config must be rejected")
+	}
+}
+
+func TestStringOutputs(t *testing.T) {
+	r := simulate(t, "alexnet", core.MBS1, memsys.HBM2)
+	if r.String() == "" || r.BreakdownString() == "" {
+		t.Error("empty renderings")
+	}
+	for i, c := range Classes {
+		if c.String() == "" {
+			t.Errorf("class %d has empty name", i)
+		}
+	}
+}

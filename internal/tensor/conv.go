@@ -1,0 +1,193 @@
+package tensor
+
+import "fmt"
+
+// ConvSpec describes a 2-D convolution's geometry.
+type ConvSpec struct {
+	InC, OutC  int
+	KH, KW     int
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutDims returns the output spatial extent for an input of h x w.
+func (s ConvSpec) OutDims(h, w int) (oh, ow int) {
+	return (h+2*s.PadH-s.KH)/s.StrideH + 1, (w+2*s.PadW-s.KW)/s.StrideW + 1
+}
+
+// Conv2D computes a direct 2-D convolution.
+// x: [N, InC, H, W], weight: [OutC, InC, KH, KW], bias: [OutC] (may be nil).
+// Returns [N, OutC, OH, OW].
+func Conv2D(x, weight, bias *Tensor, s ConvSpec) *Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutDims(h, w)
+	out := New(n, s.OutC, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < s.OutC; oc++ {
+			b := 0.0
+			if bias != nil {
+				b = bias.Data[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := b
+					for ic := 0; ic < s.InC; ic++ {
+						for ky := 0; ky < s.KH; ky++ {
+							iy := oy*s.StrideH + ky - s.PadH
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < s.KW; kx++ {
+								ix := ox*s.StrideW + kx - s.PadW
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += x.At4(ni, ic, iy, ix) *
+									weight.Data[((oc*s.InC+ic)*s.KH+ky)*s.KW+kx]
+							}
+						}
+					}
+					out.Set4(ni, oc, oy, ox, sum)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2DBackward computes the gradients of a direct convolution.
+// Returns dx [N,InC,H,W], dw [OutC,InC,KH,KW], db [OutC].
+func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutDims(h, w)
+	if dy.Shape[0] != n || dy.Shape[1] != s.OutC || dy.Shape[2] != oh || dy.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: dy shape %v mismatches conv output [%d %d %d %d]",
+			dy.Shape, n, s.OutC, oh, ow))
+	}
+	dx = New(n, s.InC, h, w)
+	dw = New(s.OutC, s.InC, s.KH, s.KW)
+	db = New(s.OutC)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < s.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.At4(ni, oc, oy, ox)
+					if g == 0 {
+						continue
+					}
+					db.Data[oc] += g
+					for ic := 0; ic < s.InC; ic++ {
+						for ky := 0; ky < s.KH; ky++ {
+							iy := oy*s.StrideH + ky - s.PadH
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < s.KW; kx++ {
+								ix := ox*s.StrideW + kx - s.PadW
+								if ix < 0 || ix >= w {
+									continue
+								}
+								wi := ((oc*s.InC+ic)*s.KH+ky)*s.KW + kx
+								dw.Data[wi] += g * x.At4(ni, ic, iy, ix)
+								dx.Data[dx.idx4(ni, ic, iy, ix)] += g * weight.Data[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db
+}
+
+// Im2col rearranges convolution input patches into a matrix of shape
+// [N*OH*OW, InC*KH*KW] — the GEMM formulation WaveCore executes (Tab. 1).
+func Im2col(x *Tensor, s ConvSpec) *Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutDims(h, w)
+	k := s.InC * s.KH * s.KW
+	out := New(n*oh*ow, k)
+	row := 0
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				col := 0
+				for ic := 0; ic < s.InC; ic++ {
+					for ky := 0; ky < s.KH; ky++ {
+						iy := oy*s.StrideH + ky - s.PadH
+						for kx := 0; kx < s.KW; kx++ {
+							ix := ox*s.StrideW + kx - s.PadW
+							v := 0.0
+							if iy >= 0 && iy < h && ix >= 0 && ix < w {
+								v = x.At4(ni, ic, iy, ix)
+							}
+							out.Data[row*k+col] = v
+							col++
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return out
+}
+
+// MatMul computes C = A[m,k] x B[k,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shapes %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		cr := c.Data[i*n : (i+1)*n]
+		for p, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Data[p*n : (p+1)*n]
+			for j, bv := range br {
+				cr[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Conv2DIm2col computes the same convolution as Conv2D via im2col + GEMM,
+// mirroring the accelerator's execution. Used to validate that the GEMM
+// formulation is exact.
+func Conv2DIm2col(x, weight, bias *Tensor, s ConvSpec) *Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutDims(h, w)
+	a := Im2col(x, s) // [N*OH*OW, K]
+	// B = weight reshaped to [K, OutC] (transposed from [OutC, K]).
+	k := s.InC * s.KH * s.KW
+	b := New(k, s.OutC)
+	for oc := 0; oc < s.OutC; oc++ {
+		for p := 0; p < k; p++ {
+			b.Data[p*s.OutC+oc] = weight.Data[oc*k+p]
+		}
+	}
+	cm := MatMul(a, b) // [N*OH*OW, OutC]
+	out := New(n, s.OutC, oh, ow)
+	row := 0
+	for ni := 0; ni < n; ni++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for oc := 0; oc < s.OutC; oc++ {
+					v := cm.Data[row*s.OutC+oc]
+					if bias != nil {
+						v += bias.Data[oc]
+					}
+					out.Set4(ni, oc, oy, ox, v)
+				}
+				row++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package tensor
+
+// MaxPool2D computes max pooling with a k x k window and the given stride.
+// Returns the output and the argmax index map (into the input's flat data)
+// used by the backward pass.
+func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Len())
+	oi := 0
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := x.At4(ni, ci, oy*stride, ox*stride)
+					bi := x.idx4(ni, ci, oy*stride, ox*stride)
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							idx := x.idx4(ni, ci, oy*stride+ky, ox*stride+kx)
+							if v := x.Data[idx]; v > best {
+								best, bi = v, idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bi
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward scatters dy through the argmax map.
+func MaxPool2DBackward(dy *Tensor, arg []int, inShape []int) *Tensor {
+	dx := New(inShape...)
+	for i, g := range dy.Data {
+		dx.Data[arg[i]] += g
+	}
+	return dx
+}
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C].
+func GlobalAvgPool(x *Tensor) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := New(n, c)
+	inv := 1.0 / float64(h*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			var s float64
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					s += x.At4(ni, ci, hi, wi)
+				}
+			}
+			out.Data[ni*c+ci] = s * inv
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolBackward broadcasts dy [N,C] back to [N,C,H,W].
+func GlobalAvgPoolBackward(dy *Tensor, inShape []int) *Tensor {
+	dx := New(inShape...)
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	inv := 1.0 / float64(h*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			g := dy.Data[ni*c+ci] * inv
+			for hi := 0; hi < h; hi++ {
+				for wi := 0; wi < w; wi++ {
+					dx.Set4(ni, ci, hi, wi, g)
+				}
+			}
+		}
+	}
+	return dx
+}

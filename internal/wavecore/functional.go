@@ -1,0 +1,179 @@
+package wavecore
+
+import (
+	"fmt"
+)
+
+// FunctionalArray is a cycle-stepped functional simulator of the WaveCore
+// systolic core (Fig. 7/8): a k x n grid of PEs with weight-stationary
+// dataflow, per-PE shadow weight registers for double buffering, a per-PE
+// wave-select bit that travels with the inputs, and column accumulators at
+// the array's bottom edge.
+//
+// It exists to validate the analytical cost model (Config.GEMMCost) against
+// an implementation that actually moves data: it computes real matrix
+// products, reproduces the weight shift-in bubble of the conventional
+// array, and demonstrates that the double-buffered array eliminates it.
+type FunctionalArray struct {
+	cfg Config
+
+	// weights[s][r][c] holds the two weight register sets per PE
+	// (s = register select).
+	weights [2][][]float64
+	// aPipe[r] is the value travelling rightwards into column 0..n-1 at
+	// row r; the functional model propagates a whole row per cycle, which
+	// matches the skewed-systolic timing because every row's partial sum
+	// moves down in lockstep.
+	partial [][]float64
+
+	// Cycles counts array-occupied cycles, split by cause.
+	Cycles      int64
+	StallCycles int64 // weight shift-in bubbles (conventional array only)
+	MACs        int64
+}
+
+// NewFunctionalArray builds a functional simulator for the configuration.
+func NewFunctionalArray(cfg Config) (*FunctionalArray, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FunctionalArray{cfg: cfg}
+	for s := 0; s < 2; s++ {
+		f.weights[s] = make([][]float64, cfg.Rows)
+		for r := range f.weights[s] {
+			f.weights[s][r] = make([]float64, cfg.Cols)
+		}
+	}
+	return f, nil
+}
+
+// loadWeights shifts a k x n weight block into register set s. On the
+// conventional array this costs k stall cycles (one row shifted down per
+// cycle, no arithmetic); with double buffering the load overlaps compute
+// and is free on the timeline.
+func (f *FunctionalArray) loadWeights(s int, block [][]float64, overlap bool) {
+	for r := 0; r < f.cfg.Rows; r++ {
+		for c := 0; c < f.cfg.Cols; c++ {
+			v := 0.0
+			if r < len(block) && c < len(block[r]) {
+				v = block[r][c]
+			}
+			f.weights[s][r][c] = v
+		}
+	}
+	if !overlap {
+		f.Cycles += int64(f.cfg.Rows)
+		f.StallCycles += int64(f.cfg.Rows)
+	}
+}
+
+// streamRows pushes mh rows of the A block through the array against
+// weight register set s, accumulating into out[row][col]. One row enters
+// per cycle (the systolic skew means a row's worth of MACs completes per
+// cycle once the pipeline is full; fill and drain are charged once per GEMM
+// by Run, exactly as in the analytical model).
+func (f *FunctionalArray) streamRows(s int, a [][]float64, out [][]float64) {
+	for _, row := range a {
+		cols := f.cfg.Cols
+		if len(out) > 0 && len(out[0]) < cols {
+			cols = len(out[0]) // edge tile narrower than the array
+		}
+		for c := 0; c < cols; c++ {
+			var acc float64
+			for r := 0; r < f.cfg.Rows && r < len(row); r++ {
+				w := f.weights[s][r][c]
+				// Zero-operand skip: the PE gates its multiplier, but the
+				// cycle still elapses (energy, not time, is saved).
+				if row[r] == 0 || w == 0 {
+					continue
+				}
+				acc += row[r] * w
+				f.MACs++
+			}
+			out[0][c] += acc
+		}
+		out = out[1:]
+		f.Cycles++
+	}
+}
+
+// Run executes C = A[Gh x K] · B[K x Gw] on the functional array and
+// returns the result. The GEMM is blocked exactly like the analytical
+// model: TileM x Cols output tiles, ceil(K/k) waves per tile, weight blocks
+// loaded per wave (double-buffered arrays preload the next wave's block
+// while the current one computes).
+func (f *FunctionalArray) Run(a, b [][]float64) ([][]float64, error) {
+	gh := int64(len(a))
+	if gh == 0 {
+		return nil, fmt.Errorf("wavecore: empty A")
+	}
+	k := int64(len(a[0]))
+	if int64(len(b)) != k {
+		return nil, fmt.Errorf("wavecore: inner dims %d vs %d", k, len(b))
+	}
+	gw := int64(len(b[0]))
+
+	out := make([][]float64, gh)
+	for i := range out {
+		out[i] = make([]float64, gw)
+	}
+
+	kk := int64(f.cfg.Rows)
+	m := int64(f.cfg.TileM)
+	waves := ceilDiv64(k, kk)
+	firstLoad := true
+
+	// Initial pipeline fill. On the conventional array the first wave's
+	// weight shift-in *is* the fill, so only the double-buffered array
+	// charges it separately (its loads otherwise overlap compute).
+	if f.cfg.DoubleBuffered {
+		f.Cycles += int64(f.cfg.Rows)
+	}
+
+	for tw := int64(0); tw < gw; tw += int64(f.cfg.Cols) {
+		cols := min64(int64(f.cfg.Cols), gw-tw)
+		for th := int64(0); th < gh; th += m {
+			rows := min64(m, gh-th)
+			sel := 0
+			for wv := int64(0); wv < waves; wv++ {
+				kFrom := wv * kk
+				kTo := min64(kFrom+kk, k)
+
+				// Extract the wave's weight block B[kFrom:kTo, tw:tw+cols].
+				block := make([][]float64, kTo-kFrom)
+				for r := range block {
+					block[r] = b[kFrom+int64(r)][tw : tw+cols]
+				}
+				// Double-buffered arrays hide every load after the first;
+				// the conventional array stalls k cycles per wave.
+				overlap := f.cfg.DoubleBuffered && !firstLoad
+				f.loadWeights(sel, block, overlap)
+				firstLoad = false
+
+				// Extract the wave's A slice rows [th:th+rows, kFrom:kTo]
+				// and stream them through.
+				aSlice := make([][]float64, rows)
+				for r := range aSlice {
+					aSlice[r] = a[th+int64(r)][kFrom:kTo]
+				}
+				outSlice := make([][]float64, rows)
+				for r := range outSlice {
+					outSlice[r] = out[th+int64(r)][tw : tw+cols]
+				}
+				f.streamRows(sel, aSlice, outSlice)
+				sel = 1 - sel
+			}
+		}
+	}
+
+	// Final drain through the array width.
+	f.Cycles += int64(f.cfg.Cols)
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+// Package wavecore models the WaveCore systolic-array training accelerator
+// (Section 4 of the paper): im2col GEMM dimensioning (Tab. 1), output
+// tiling, systolic wave pipelining with and without weight double buffering
+// (Fig. 8), and the vector units that execute normalization, pooling and
+// activation layers.
+package wavecore
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Config describes one systolic core.
+type Config struct {
+	Rows int // PE array height (k); weights shift in along this dimension
+	Cols int // PE array width (n); one output column per PE column
+	// TileM is the A-block (input rows) per tile, m = local buffer size / k.
+	// With the paper's 64 KiB A half-buffers of 16-bit words and k=128,
+	// m = 64Ki/2/128 = 256.
+	TileM int
+	// ClockHz is the core clock (paper: 0.7 GHz).
+	ClockHz float64
+	// DoubleBuffered enables the per-PE second weight register that removes
+	// the k-cycle inter-wave weight shift-in bubble (ArchOpt, Fig. 8).
+	DoubleBuffered bool
+}
+
+// DefaultConfig returns the paper's 128x128 core at 0.7 GHz.
+func DefaultConfig(doubleBuffered bool) Config {
+	return Config{Rows: 128, Cols: 128, TileM: 256, ClockHz: 0.7e9, DoubleBuffered: doubleBuffered}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 || c.TileM <= 0 || c.ClockHz <= 0 {
+		return fmt.Errorf("wavecore: invalid config %+v", c)
+	}
+	return nil
+}
+
+// PEs returns the processing-element count.
+func (c Config) PEs() int64 { return int64(c.Rows) * int64(c.Cols) }
+
+// GEMM is an im2col matrix multiply C[Gh×Gw] = A[Gh×K] · B[K×Gw].
+type GEMM struct {
+	Gh, Gw, K int64
+}
+
+// MACs returns the multiply-accumulate count of the GEMM.
+func (g GEMM) MACs() int64 { return g.Gh * g.Gw * g.K }
+
+func (g GEMM) String() string { return fmt.Sprintf("[%d x %d x %d]", g.Gh, g.Gw, g.K) }
+
+// ForwardGEMM returns the im2col GEMM of a conv/FC forward pass for a
+// sub-batch of n samples (Tab. 1 row 1): Gh = N·Ho·Wo, Gw = Co, K = Ci·R·S.
+// ok is false for non-GEMM layers.
+func ForwardGEMM(l *graph.Layer, n int) (g GEMM, ok bool) {
+	switch l.Kind {
+	case graph.Conv:
+		return GEMM{
+			Gh: int64(n) * int64(l.Out.H) * int64(l.Out.W),
+			Gw: int64(l.Out.C),
+			K:  int64(l.In.C) * int64(l.KH) * int64(l.KW),
+		}, true
+	case graph.FC:
+		return GEMM{Gh: int64(n), Gw: int64(l.Out.C), K: l.In.Elems()}, true
+	default:
+		return GEMM{}, false
+	}
+}
+
+// DataGradGEMM returns the data-gradient GEMM (Tab. 1 row 2):
+// Gh = N·Hi·Wi, Gw = Ci, K = Co·R·S.
+func DataGradGEMM(l *graph.Layer, n int) (g GEMM, ok bool) {
+	switch l.Kind {
+	case graph.Conv:
+		return GEMM{
+			Gh: int64(n) * int64(l.In.H) * int64(l.In.W),
+			Gw: int64(l.In.C),
+			K:  int64(l.Out.C) * int64(l.KH) * int64(l.KW),
+		}, true
+	case graph.FC:
+		return GEMM{Gh: int64(n), Gw: l.In.Elems(), K: int64(l.Out.C)}, true
+	default:
+		return GEMM{}, false
+	}
+}
+
+// WeightGradGEMM returns the weight-gradient GEMM (Tab. 1 row 3):
+// Gh = Ci·R·S, Gw = Co, K = N·Ho·Wo.
+func WeightGradGEMM(l *graph.Layer, n int) (g GEMM, ok bool) {
+	switch l.Kind {
+	case graph.Conv:
+		return GEMM{
+			Gh: int64(l.In.C) * int64(l.KH) * int64(l.KW),
+			Gw: int64(l.Out.C),
+			K:  int64(n) * int64(l.Out.H) * int64(l.Out.W),
+		}, true
+	case graph.FC:
+		return GEMM{Gh: l.In.Elems(), Gw: int64(l.Out.C), K: int64(n)}, true
+	default:
+		return GEMM{}, false
+	}
+}
+
+// Cost is the systolic execution cost of one or more GEMMs.
+type Cost struct {
+	Cycles int64 // array-occupied cycles
+	MACs   int64 // useful multiply-accumulates
+}
+
+// Add accumulates another cost.
+func (c *Cost) Add(o Cost) {
+	c.Cycles += o.Cycles
+	c.MACs += o.MACs
+}
+
+// Utilization returns useful MACs over array capacity for the cost.
+func (c Cost) Utilization(cfg Config) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.MACs) / (float64(c.Cycles) * float64(cfg.PEs()))
+}
+
+// Seconds converts cycles to time under the configuration's clock.
+func (c Config) Seconds(cycles int64) float64 { return float64(cycles) / c.ClockHz }
+
+// streamedRows returns, for a Gh-row output packed into batches of `pack`
+// parallel row-tiles of height m, the number of batches and the total
+// streamed A-rows (each batch streams for the duration of its tallest
+// member; the remainder tile rides along with full tiles when it can).
+func streamedRows(gh, m, pack int64) (batches, rows int64) {
+	fullTiles := gh / m
+	rem := gh % m
+	switch {
+	case rem == 0:
+		batches = ceilDiv64(fullTiles, pack)
+		rows = batches * m
+	case fullTiles == 0:
+		batches = 1
+		rows = rem
+	case fullTiles%pack == 0:
+		batches = fullTiles/pack + 1
+		rows = (batches-1)*m + rem
+	default:
+		batches = ceilDiv64(fullTiles, pack)
+		rows = batches * m
+	}
+	return batches, rows
+}
+
+// GEMMCost returns the cycles and useful MACs to execute one GEMM. The
+// output is blocked into TileM x Cols tiles (Fig. 7); each tile takes
+// ceil(K/k) waves.
+//
+// When the GEMM is narrower than the array (Gw < Cols), the weight block is
+// replicated across column groups and independent row-tiles stream through
+// them concurrently, so narrow-but-tall GEMMs do not idle most of the
+// array. Reduction depth that does not fill the array's rows (K < k) cannot
+// be packed the same way — the column-wise accumulation chains are shared —
+// which is what leaves the small-channel-count early layers of Fig. 14
+// underutilized.
+func (c Config) GEMMCost(g GEMM) Cost {
+	if g.Gh <= 0 || g.Gw <= 0 || g.K <= 0 {
+		return Cost{}
+	}
+	m := int64(c.TileM)
+	k := int64(c.Rows)
+	waves := ceilDiv64(g.K, k)
+	tilesW := ceilDiv64(g.Gw, int64(c.Cols))
+
+	// Column packing for narrow GEMMs: independent row-tiles side by side.
+	pack := int64(1)
+	if g.Gw > 0 && g.Gw < int64(c.Cols) {
+		pack = int64(c.Cols) / g.Gw
+	}
+
+	batches, rows := streamedRows(g.Gh, m, pack)
+	totalWaves := tilesW * batches * waves
+	totalStream := tilesW * waves * rows
+
+	var cycles int64
+	if c.DoubleBuffered {
+		// Gap-less waves (Fig. 8, lower half): one initial k-cycle weight
+		// fill, then back-to-back A streaming across every wave of every
+		// tile — the shadow register absorbs all later weight loads — and
+		// one final pipeline drain.
+		cycles = k + totalStream + k + int64(c.Cols)
+	} else {
+		// Conventional array (Fig. 8, upper half): every wave stalls k
+		// cycles to shift its weight block in.
+		cycles = totalWaves*k + totalStream + int64(c.Cols)
+	}
+
+	return Cost{
+		Cycles: cycles,
+		MACs:   g.MACs(),
+	}
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }
+
+// VectorUnit models the per-core scalar/vector units that process
+// normalization, pooling, activation and merge layers next to the global
+// buffer (Section 4.2).
+type VectorUnit struct {
+	// Lanes is the number of parallel elementwise lanes.
+	Lanes int
+	// ClockHz is the vector clock (same domain as the core).
+	ClockHz float64
+}
+
+// DefaultVectorUnit sizes the vector units so that elementwise layers are
+// memory-bandwidth bound (the paper's premise): 512 lanes at 0.7 GHz
+// sustain ~358 Gop/s, far above what HBM2 can feed at 2 B/element.
+func DefaultVectorUnit() VectorUnit { return VectorUnit{Lanes: 512, ClockHz: 0.7e9} }
+
+// OpsPerSecond returns the unit's elementwise throughput.
+func (v VectorUnit) OpsPerSecond() float64 { return float64(v.Lanes) * v.ClockHz }
+
+// Seconds returns the compute time for ops elementwise operations.
+func (v VectorUnit) Seconds(ops int64) float64 {
+	if v.Lanes <= 0 || v.ClockHz <= 0 {
+		return 0
+	}
+	return float64(ops) / v.OpsPerSecond()
+}

@@ -1,0 +1,220 @@
+package wavecore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestGEMMDimsTab1(t *testing.T) {
+	// Tab. 1: conv 3x3, Ci=64, Co=128, 56x56 -> 56x56, N=8.
+	l := graph.NewConvSquare("c", graph.Shape{C: 64, H: 56, W: 56}, 128, 3, 1, 1)
+	n := 8
+
+	f, ok := ForwardGEMM(l, n)
+	if !ok || f.Gh != int64(8*56*56) || f.Gw != 128 || f.K != int64(64*9) {
+		t.Errorf("forward = %v, want [25088 x 128 x 576]", f)
+	}
+	d, ok := DataGradGEMM(l, n)
+	if !ok || d.Gh != int64(8*56*56) || d.Gw != 64 || d.K != int64(128*9) {
+		t.Errorf("data grad = %v, want [25088 x 64 x 1152]", d)
+	}
+	w, ok := WeightGradGEMM(l, n)
+	if !ok || w.Gh != int64(64*9) || w.Gw != 128 || w.K != int64(8*56*56) {
+		t.Errorf("weight grad = %v, want [576 x 128 x 25088]", w)
+	}
+
+	// All three GEMMs perform the same MAC count (same convolution).
+	if f.MACs() != d.MACs() || f.MACs() != w.MACs() {
+		t.Errorf("MAC counts differ: %d %d %d", f.MACs(), d.MACs(), w.MACs())
+	}
+}
+
+func TestGEMMDimsFC(t *testing.T) {
+	l := graph.NewFC("f", graph.Shape{C: 2048, H: 1, W: 1}, 1000)
+	f, _ := ForwardGEMM(l, 32)
+	if f.Gh != 32 || f.Gw != 1000 || f.K != 2048 {
+		t.Errorf("fc forward = %v", f)
+	}
+	w, _ := WeightGradGEMM(l, 32)
+	if w.Gh != 2048 || w.Gw != 1000 || w.K != 32 {
+		t.Errorf("fc wgrad = %v", w)
+	}
+}
+
+func TestNonGEMMLayersRejected(t *testing.T) {
+	p := graph.NewPool("p", graph.Shape{C: 64, H: 56, W: 56}, graph.MaxPool, 2, 2, 0)
+	if _, ok := ForwardGEMM(p, 4); ok {
+		t.Error("pool must not produce a GEMM")
+	}
+	if _, ok := DataGradGEMM(p, 4); ok {
+		t.Error("pool must not produce a data-grad GEMM")
+	}
+	if _, ok := WeightGradGEMM(p, 4); ok {
+		t.Error("pool must not produce a weight-grad GEMM")
+	}
+}
+
+func TestDoubleBufferingRemovesWaveGaps(t *testing.T) {
+	db := DefaultConfig(true)
+	nb := DefaultConfig(false)
+	g := GEMM{Gh: 8192, Gw: 256, K: 2304} // 18 waves per tile
+
+	cdb := db.GEMMCost(g)
+	cnb := nb.GEMMCost(g)
+	if cdb.MACs != cnb.MACs {
+		t.Fatal("MAC counts must not depend on buffering")
+	}
+	if cdb.Cycles >= cnb.Cycles {
+		t.Errorf("double buffering must reduce cycles (%d vs %d)", cdb.Cycles, cnb.Cycles)
+	}
+	// The asymptotic penalty of the conventional array is k extra cycles
+	// per m streamed rows: ratio -> (k+m)/m = 1.5 for k=128, m=256.
+	ratio := float64(cnb.Cycles) / float64(cdb.Cycles)
+	if ratio < 1.3 || ratio > 1.6 {
+		t.Errorf("idle-time ratio = %.2f, want ~1.5", ratio)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	cfg := DefaultConfig(true)
+	f := func(gh, gw, k uint16) bool {
+		g := GEMM{Gh: int64(gh%4096) + 1, Gw: int64(gw%2048) + 1, K: int64(k%4096) + 1}
+		c := cfg.GEMMCost(g)
+		u := c.Utilization(cfg)
+		return u > 0 && u <= 1.0 && c.Cycles > 0 && c.MACs == g.MACs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeGEMMNearFullUtilization(t *testing.T) {
+	cfg := DefaultConfig(true)
+	g := GEMM{Gh: 1 << 16, Gw: 1024, K: 4096}
+	u := cfg.GEMMCost(g).Utilization(cfg)
+	if u < 0.95 {
+		t.Errorf("large GEMM utilization = %.3f, want > 0.95", u)
+	}
+}
+
+func TestNarrowGEMMColumnPacking(t *testing.T) {
+	cfg := DefaultConfig(true)
+	// Gw=64 packs two row-tiles side by side: utilization should be about
+	// half of a Gw=128 GEMM of equal work, not a quarter.
+	narrow := GEMM{Gh: 1 << 15, Gw: 64, K: 128}
+	wide := GEMM{Gh: 1 << 15, Gw: 128, K: 128}
+	un := cfg.GEMMCost(narrow).Utilization(cfg)
+	uw := cfg.GEMMCost(wide).Utilization(cfg)
+	if un < 0.40*uw {
+		t.Errorf("narrow GEMM util %.3f too low vs wide %.3f: packing broken", un, uw)
+	}
+	// And the narrow GEMM should take about half the cycles (half the work
+	// at the same packed throughput).
+	cn := cfg.GEMMCost(narrow).Cycles
+	cw := cfg.GEMMCost(wide).Cycles
+	if r := float64(cn) / float64(cw); r < 0.4 || r > 0.7 {
+		t.Errorf("narrow/wide cycle ratio = %.2f, want ~0.5", r)
+	}
+}
+
+func TestShallowKUnderutilizes(t *testing.T) {
+	// K below the array height cannot be packed (shared accumulation
+	// chains) — the Fig. 14 early-layer effect.
+	cfg := DefaultConfig(true)
+	shallow := GEMM{Gh: 1 << 15, Gw: 128, K: 64}
+	deep := GEMM{Gh: 1 << 15, Gw: 128, K: 128}
+	us := cfg.GEMMCost(shallow).Utilization(cfg)
+	ud := cfg.GEMMCost(deep).Utilization(cfg)
+	if us > 0.6*ud {
+		t.Errorf("shallow-K util %.3f should be ~half of %.3f", us, ud)
+	}
+}
+
+func TestCyclesMonotoneInWork(t *testing.T) {
+	cfg := DefaultConfig(true)
+	base := GEMM{Gh: 1000, Gw: 200, K: 300}
+	c0 := cfg.GEMMCost(base).Cycles
+	for _, g := range []GEMM{
+		{Gh: 2000, Gw: 200, K: 300},
+		{Gh: 1000, Gw: 400, K: 300},
+		{Gh: 1000, Gw: 200, K: 600},
+	} {
+		if c := cfg.GEMMCost(g).Cycles; c < c0 {
+			t.Errorf("cycles decreased when scaling %v: %d < %d", g, c, c0)
+		}
+	}
+}
+
+func TestStreamedRows(t *testing.T) {
+	cases := []struct {
+		gh, m, pack  int64
+		wantB, wantR int64
+	}{
+		{1024, 256, 1, 4, 1024}, // exact tiles
+		{1025, 256, 1, 5, 1025}, // remainder alone
+		{1024, 256, 2, 2, 512},  // packed pairs
+		{1025, 256, 2, 3, 513},  // 2 packed full batches + lone 1-row remainder
+		{100, 256, 4, 1, 100},   // single short tile
+		{700, 256, 2, 2, 444},   // one packed pair (256) + lone remainder (188)
+	}
+	for _, c := range cases {
+		b, r := streamedRows(c.gh, c.m, c.pack)
+		if b != c.wantB || r != c.wantR {
+			t.Errorf("streamedRows(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.gh, c.m, c.pack, b, r, c.wantB, c.wantR)
+		}
+	}
+}
+
+func TestStreamedRowsCoverGh(t *testing.T) {
+	f := func(gh uint16, pack uint8) bool {
+		g := int64(gh) + 1
+		p := int64(pack%8) + 1
+		b, r := streamedRows(g, 256, p)
+		// Streamed rows must cover the tallest member of each batch, hence
+		// at least ceil(gh/(256*pack)) batches and rows >= gh/pack.
+		return b >= 1 && r >= (g+p-1)/p && r <= g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroGEMM(t *testing.T) {
+	cfg := DefaultConfig(true)
+	if c := cfg.GEMMCost(GEMM{}); c.Cycles != 0 || c.MACs != 0 {
+		t.Errorf("empty GEMM cost = %+v, want zero", c)
+	}
+}
+
+func TestVectorUnit(t *testing.T) {
+	v := DefaultVectorUnit()
+	if v.OpsPerSecond() <= 0 {
+		t.Fatal("vector throughput must be positive")
+	}
+	if v.Seconds(0) != 0 {
+		t.Error("zero ops must take zero time")
+	}
+	if v.Seconds(int64(v.OpsPerSecond())) < 0.99 {
+		t.Error("one second of ops should take ~1s")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(true).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := Config{Rows: 0, Cols: 128, TileM: 256, ClockHz: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rows should fail validation")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cfg := DefaultConfig(true)
+	if got := cfg.Seconds(700_000_000); got < 0.999 || got > 1.001 {
+		t.Errorf("0.7e9 cycles at 0.7GHz = %f s, want 1", got)
+	}
+}
