@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke golden clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test ./...
+
+# The nn training tests are slow under the race detector; give the suite
+# headroom beyond Go's default 10m package timeout (or use -short).
+race:
+	$(GO) test -race -timeout 30m ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark: a fast reproduction log of the paper's
+# headline numbers (no -benchtime tuning, no stability claims).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the pinned figure/table outputs after an intentional change to
+# the scheduler or simulator models. Inspect the git diff before committing.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenOutputs -update
+
+clean:
+	$(GO) clean ./...

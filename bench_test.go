@@ -14,6 +14,8 @@
 //	BenchmarkFig6Training     — training-equivalence substitute (short)
 //	BenchmarkTable2Area       — Tab. 2 area/power model
 //	BenchmarkAblation*        — design-choice ablations from DESIGN.md
+//	BenchmarkSuite*           — the full mbsim -all suite on the sweep
+//	                            engine: sequential, parallel and warm-cache
 package repro_test
 
 import (
@@ -26,12 +28,18 @@ import (
 	"repro/internal/memsys"
 	"repro/internal/models"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
+
+// newRunner returns a fresh parallel runner. Benchmarks construct one per
+// iteration so the sweep cache never carries artifacts across iterations
+// and every iteration times the full build+plan+simulate cost.
+func newRunner() experiments.Runner { return experiments.Runner{E: sweep.New(0)} }
 
 // BenchmarkFig3Footprints regenerates the ResNet-50 footprint profile.
 func BenchmarkFig3Footprints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig3(io.Discard)
+		rows := newRunner().Fig3(io.Discard)
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -41,7 +49,7 @@ func BenchmarkFig3Footprints(b *testing.B) {
 // BenchmarkFig4Grouping regenerates the per-block grouping profile.
 func BenchmarkFig4Grouping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Fig4(io.Discard)
+		rows := newRunner().Fig4(io.Discard)
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -51,7 +59,7 @@ func BenchmarkFig4Grouping(b *testing.B) {
 // BenchmarkFig5Schedule regenerates the concrete ResNet-50 MBS schedules.
 func BenchmarkFig5Schedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(io.Discard, "resnet50"); err != nil {
+		if _, err := newRunner().Fig5(io.Discard, "resnet50"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -79,7 +87,7 @@ func fig10Metrics(b *testing.B, network string, metric func(experiments.Fig10Cel
 	var cells []experiments.Fig10Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = experiments.Fig10(io.Discard, network)
+		cells, err = newRunner().Fig10(io.Discard, network)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +135,7 @@ func BenchmarkFig10Traffic(b *testing.B) {
 func BenchmarkFig11BufferSweep(b *testing.B) {
 	var points []experiments.Fig11Point
 	for i := 0; i < b.N; i++ {
-		points = experiments.Fig11(io.Discard)
+		points = newRunner().Fig11(io.Discard)
 	}
 	for _, p := range points {
 		if p.Config == core.MBS2 {
@@ -140,7 +148,7 @@ func BenchmarkFig11BufferSweep(b *testing.B) {
 func BenchmarkFig12MemorySweep(b *testing.B) {
 	var points []experiments.Fig12Point
 	for i := 0; i < b.N; i++ {
-		points = experiments.Fig12(io.Discard)
+		points = newRunner().Fig12(io.Discard)
 	}
 	for _, p := range points {
 		if p.Config == core.MBS2 || p.Config == core.Baseline {
@@ -153,7 +161,7 @@ func BenchmarkFig12MemorySweep(b *testing.B) {
 func BenchmarkFig13GPUComparison(b *testing.B) {
 	var points []experiments.Fig13Point
 	for i := 0; i < b.N; i++ {
-		points = experiments.Fig13(io.Discard)
+		points = newRunner().Fig13(io.Discard)
 	}
 	for _, p := range points {
 		b.ReportMetric(p.Speedup, fmt.Sprintf("%s-%s-x", p.Network, p.Memory))
@@ -164,7 +172,7 @@ func BenchmarkFig13GPUComparison(b *testing.B) {
 func BenchmarkFig14Utilization(b *testing.B) {
 	var cells []experiments.Fig14Cell
 	for i := 0; i < b.N; i++ {
-		cells = experiments.Fig14(io.Discard)
+		cells = newRunner().Fig14(io.Discard)
 	}
 	sums := map[core.Config]float64{}
 	counts := map[core.Config]int{}
@@ -279,6 +287,44 @@ func BenchmarkAblationZeroSkip(b *testing.B) {
 			}
 			b.ReportMetric(e, "J")
 		})
+	}
+}
+
+// --- Sweep-engine suite ------------------------------------------------------
+
+// benchSuite times the full mbsim -all suite (Figs. 10-14 + Tab. 2) at the
+// given worker count, with a cold cache every iteration.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Runner{E: sweep.New(workers)}
+		if err := r.All(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the -all suite on one worker.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel is the -all suite across all cores; compare
+// against BenchmarkSuiteSequential for the engine's wall-clock speedup
+// (proportional to core count — identical on a single-core host).
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
+
+// BenchmarkSuiteCached is the -all suite re-run on a warm engine: every
+// schedule and traffic ledger is a cache hit, isolating simulation and
+// rendering cost.
+func BenchmarkSuiteCached(b *testing.B) {
+	r := newRunner()
+	if err := r.All(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.All(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

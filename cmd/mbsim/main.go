@@ -1,27 +1,35 @@
 // Command mbsim runs the WaveCore simulator experiments: it regenerates the
 // paper's Fig. 10 (time/energy/traffic across configurations), Fig. 11
 // (buffer-size sensitivity), Fig. 12 (memory-type sensitivity), Fig. 13
-// (V100 comparison), Fig. 14 (systolic utilization) and Tab. 2 (area/power).
+// (V100 comparison), Fig. 14 (systolic utilization) and Tab. 2 (area/power),
+// and runs custom sweep grids over any subset of the experiment axes.
+//
+// Experiments execute on the concurrent sweep engine (-parallel selects the
+// worker count; the default uses every core). Output is deterministic: a
+// parallel run renders byte-identical tables to a sequential one. -json
+// emits the structured result rows instead of aligned tables.
 //
 // Usage:
 //
-//	mbsim -fig 10|11|12|13|14
+//	mbsim -fig 10|11|12|13|14 [-parallel N] [-json]
 //	mbsim -table 2
-//	mbsim -all
+//	mbsim -all [-parallel N] [-json]
 //	mbsim -network resnet50 -config MBS2 -memory LPDDR4
+//	mbsim -network resnet152 -sweep memory,buffer [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/memsys"
-	"repro/internal/models"
-	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -29,85 +37,186 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a paper table (2)")
 	all := flag.Bool("all", false, "run every figure and table")
 	network := flag.String("network", "", "simulate a single network instead")
-	config := flag.String("config", "MBS2", "configuration for -network")
-	memory := flag.String("memory", "HBM2", "memory type for -network (HBM2, HBM2x2, GDDR5, LPDDR4)")
+	config := flag.String("config", "MBS2", "configuration for -network/-sweep")
+	memory := flag.String("memory", "HBM2", "memory type for -network/-sweep (HBM2, HBM2x2, GDDR5, LPDDR4)")
+	batch := flag.Int("batch", 0, "per-core mini-batch for -network/-sweep (0 = network default)")
+	buffer := flag.Int64("buffer", 0, "global buffer MiB for -network/-sweep (0 = 10 MiB default)")
+	sweepAxes := flag.String("sweep", "", "comma-separated axes to sweep with -network (network, config, memory, batch, buffer)")
+	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores)")
+	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
 	flag.Parse()
 
-	if *all {
-		runFig(10)
-		runFig(11)
-		runFig(12)
-		runFig(13)
-		runFig(14)
-		experiments.Table2(os.Stdout)
-		return
+	e := sweep.New(*parallel)
+	r := experiments.Runner{E: e}
+
+	switch {
+	case *all:
+		runAll(r, *jsonOut)
+	case *table == 2:
+		runTable2(r, *jsonOut)
+	case *fig != 0:
+		runFig(r, *fig, *jsonOut)
+	case *sweepAxes != "":
+		runSweep(e, *sweepAxes, *network, *config, *memory, *batch, *buffer, *jsonOut)
+	case *network != "":
+		runSingle(e, *network, *config, *memory, *batch, *buffer, *jsonOut)
+	default:
+		flag.Usage()
 	}
-	if *table == 2 {
-		experiments.Table2(os.Stdout)
-		return
-	}
-	if *fig != 0 {
-		runFig(*fig)
-		return
-	}
-	if *network != "" {
-		runSingle(*network, *config, *memory)
-		return
-	}
-	flag.Usage()
 }
 
-func runFig(fig int) {
-	var err error
-	switch fig {
-	case 10:
-		_, err = experiments.Fig10(os.Stdout)
-	case 11:
-		experiments.Fig11(os.Stdout)
-	case 12:
-		experiments.Fig12(os.Stdout)
-	case 13:
-		experiments.Fig13(os.Stdout)
-	case 14:
-		experiments.Fig14(os.Stdout)
-	default:
-		err = fmt.Errorf("mbsim: unknown figure %d (have 10-14)", fig)
+// figData regenerates one figure via its Suite entry, rendering to w (nil
+// under -json) and returning the structured series for JSON output.
+func figData(r experiments.Runner, fig int, w io.Writer) (any, error) {
+	name := fmt.Sprintf("fig%d", fig)
+	for _, s := range experiments.Suite {
+		if s.Name == name {
+			return s.Run(r, w)
+		}
 	}
-	if err != nil {
+	return nil, fmt.Errorf("mbsim: unknown figure %d (have 10-14)", fig)
+}
+
+func runFig(r experiments.Runner, fig int, jsonOut bool) {
+	if jsonOut {
+		data, err := figData(r, fig, nil)
+		if err != nil {
+			fatal(err)
+		}
+		emitJSON(map[string]any{fmt.Sprintf("fig%d", fig): data})
+		return
+	}
+	if _, err := figData(r, fig, os.Stdout); err != nil {
 		fatal(err)
 	}
 	fmt.Println()
 }
 
-func runSingle(network, config, memory string) {
-	var cfg core.Config
-	found := false
-	for _, c := range core.Configs {
-		if strings.EqualFold(c.String(), config) {
-			cfg, found = c, true
-		}
+func runTable2(r experiments.Runner, jsonOut bool) {
+	if jsonOut {
+		emitJSON(map[string]any{"table2": r.Table2(nil)})
+		return
 	}
-	if !found {
-		fatal(fmt.Errorf("mbsim: unknown config %q", config))
+	r.Table2(os.Stdout)
+}
+
+func runAll(r experiments.Runner, jsonOut bool) {
+	if jsonOut {
+		out := make(map[string]any, len(experiments.Suite))
+		for _, s := range experiments.Suite {
+			data, err := s.Run(r, nil)
+			if err != nil {
+				fatal(err)
+			}
+			out[s.Name] = data
+		}
+		emitJSON(out)
+		return
+	}
+	if err := r.All(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func runSweep(e *sweep.Engine, axes, network, config, memory string, batch int, bufferMiB int64, jsonOut bool) {
+	// Fixed values from the flags populate every non-swept axis.
+	cfg, err := configByName(config)
+	if err != nil {
+		fatal(err)
 	}
 	mem, err := memsys.ByName(memory)
 	if err != nil {
 		fatal(err)
 	}
-	net, err := models.Build(network)
+	grid := sweep.Grid{
+		Networks: []string{network},
+		Configs:  []core.Config{cfg},
+		Memories: []memsys.DRAM{mem},
+		Batches:  []int{batch},
+		Buffers:  []int64{bufferMiB << 20},
+	}
+	// Each swept axis replaces its fixed value with the default sweep range.
+	for _, axis := range strings.Split(axes, ",") {
+		switch strings.TrimSpace(axis) {
+		case "network":
+			grid.Networks = experiments.DeepCNNs
+		case "config":
+			grid.Configs = core.Configs
+		case "memory":
+			grid.Memories = memsys.Memories
+		case "batch":
+			grid.Batches = []int{16, 32, 64}
+		case "buffer":
+			grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
+		default:
+			fatal(fmt.Errorf("mbsim: unknown sweep axis %q (have network, config, memory, batch, buffer)", axis))
+		}
+	}
+	if len(grid.Networks) == 1 && grid.Networks[0] == "" {
+		fatal(fmt.Errorf("mbsim: -sweep needs -network or a network axis (e.g. -sweep network,%s)", axes))
+	}
+	cells := grid.Cells()
+	results, err := e.SimulateGrid(cells)
 	if err != nil {
 		fatal(err)
 	}
-	s := core.MustPlan(net, core.DefaultOptions(cfg, models.DefaultBatch(network)))
-	r, err := sim.Simulate(s, sim.DefaultHW(cfg, mem))
+	rows := sweep.Rows(cells, results)
+	if jsonOut {
+		emitJSON(map[string]any{"sweep": rows})
+		return
+	}
+	sweep.RenderRows(os.Stdout, fmt.Sprintf("Sweep over %s (%d cells)", axes, len(cells)), rows)
+	st := e.Cache().Stats()
+	fmt.Printf("cache: %d plans built, %d reused\n", st.PlanMisses, st.PlanHits)
+}
+
+func configByName(name string) (core.Config, error) {
+	for _, c := range core.Configs {
+		if strings.EqualFold(c.String(), name) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("mbsim: unknown config %q", name)
+}
+
+func runSingle(e *sweep.Engine, network, config, memory string, batch int, bufferMiB int64, jsonOut bool) {
+	cfg, err := configByName(config)
 	if err != nil {
 		fatal(err)
+	}
+	mem, err := memsys.ByName(memory)
+	if err != nil {
+		fatal(err)
+	}
+	cell := sweep.Cell{
+		Network: network, Config: cfg, Memory: mem,
+		Batch: batch, BufferBytes: bufferMiB << 20,
+	}
+	r, err := e.Simulate(cell)
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		emitJSON(map[string]any{
+			"result":                  sweep.RowOf(cell, r),
+			"time_by_class_seconds":   r.TimeByClass,
+			"energy_breakdown_joules": r.Energy,
+		})
+		return
 	}
 	fmt.Println(r)
 	fmt.Println("breakdown:", r.BreakdownString())
 	fmt.Printf("energy: DRAM %.3f J, GB %.3f J, compute %.3f J, vector %.3f J, static %.3f J (DRAM share %.1f%%)\n",
 		r.Energy.DRAM, r.Energy.GB, r.Energy.Compute, r.Energy.Vector, r.Energy.Static,
 		100*r.Energy.DRAMFraction())
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

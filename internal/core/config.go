@@ -37,6 +37,9 @@ const (
 // Configs lists all configurations in evaluation order.
 var Configs = []Config{Baseline, ArchOpt, IL, MBSFS, MBS1, MBS2}
 
+// MarshalText renders the configuration name in JSON output.
+func (c Config) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
 func (c Config) String() string {
 	switch c {
 	case Baseline:

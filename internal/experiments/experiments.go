@@ -2,11 +2,19 @@
 // evaluation section. Each function both returns the structured data series
 // and renders the same rows the paper reports, so the cmd binaries, the
 // examples and the benchmark harness all share one implementation.
+//
+// Every figure is expressed as a sweep over experiment cells and executed on
+// a sweep.Engine: a Runner bound to a multi-worker engine evaluates the grid
+// concurrently (with built networks, schedules and traffic ledgers shared
+// through the engine's cache), while the package-level convenience functions
+// run on a fresh single-worker engine. Result ordering — and therefore the
+// rendered output — is identical for any worker count.
 package experiments
 
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -14,18 +22,27 @@ import (
 	"repro/internal/models"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // DeepCNNs lists the evaluation networks in the paper's order.
 var DeepCNNs = []string{"resnet50", "resnet101", "resnet152", "inceptionv3", "inceptionv4", "alexnet"}
 
-// plan builds the default schedule for (network, config).
-func plan(name string, cfg core.Config) (*core.Schedule, error) {
-	net, err := models.Build(name)
-	if err != nil {
-		return nil, err
-	}
-	return core.Plan(net, core.DefaultOptions(cfg, models.DefaultBatch(name)))
+// Runner evaluates the paper's figures and tables on a sweep engine. The
+// zero value is not usable; construct with a concrete engine, e.g.
+// Runner{E: sweep.New(0)} for a parallel run over all cores.
+type Runner struct {
+	E *sweep.Engine
+}
+
+// seqRunner returns a fresh sequential runner, used by the package-level
+// convenience wrappers to preserve their original one-shot semantics.
+func seqRunner() Runner { return Runner{E: sweep.New(1)} }
+
+// plan builds (or fetches from the engine cache) the default schedule for
+// (network, config).
+func (r Runner) plan(name string, cfg core.Config) (*core.Schedule, error) {
+	return r.E.Plan(name, core.DefaultOptions(cfg, models.DefaultBatch(name)))
 }
 
 // --- Fig. 3 -----------------------------------------------------------------
@@ -41,37 +58,39 @@ type Fig3Row struct {
 // Fig3 computes the per-layer inter-layer data and parameter sizes of
 // ResNet-50 with a 32-sample mini-batch at 16-bit words, sorted descending
 // by inter-layer size as in the paper's plot.
-func Fig3(w io.Writer) []Fig3Row {
-	net, _ := models.Build("resnet50")
+func Fig3(w io.Writer) []Fig3Row { return seqRunner().Fig3(w) }
+
+// Fig3 is the engine-backed form of the package-level Fig3.
+func (r Runner) Fig3(w io.Writer) []Fig3Row {
+	net, err := r.E.Network("resnet50")
+	if err != nil {
+		panic(err)
+	}
 	inter, params := net.LayerFootprints(32)
 	layers := net.Layers()
 	rows := make([]Fig3Row, len(layers))
 	for i, l := range layers {
 		rows[i] = Fig3Row{Layer: l.Name, Kind: l.Kind, InterLayer: inter[i], Params: params[i]}
 	}
-	// Sort descending by inter-layer size (insertion sort keeps it simple
-	// and stable for the table).
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0 && rows[j].InterLayer > rows[j-1].InterLayer; j-- {
-			rows[j], rows[j-1] = rows[j-1], rows[j]
-		}
-	}
+	// Sort descending by inter-layer size; stable so equal-sized layers keep
+	// network order as in the paper's plot.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].InterLayer > rows[j].InterLayer })
 	if w != nil {
 		t := report.NewTable(
 			"Fig. 3: ResNet-50 per-layer footprint (mini-batch 32, 16b words; sorted)",
 			"rank", "layer", "kind", "inter-layer", "params")
-		for i, r := range rows {
-			t.RowF(fmt.Sprint(i), r.Layer, r.Kind.String(),
-				report.Bytes(r.InterLayer), report.Bytes(r.Params))
+		for i, row := range rows {
+			t.RowF(fmt.Sprint(i), row.Layer, row.Kind.String(),
+				report.Bytes(row.InterLayer), report.Bytes(row.Params))
 		}
 		t.Render(w)
 		// The paper's observation: only a small fraction of inter-layer
 		// data fits a 10 MiB buffer.
 		var total, fits int64
-		for _, r := range rows {
-			total += r.InterLayer
-			if r.InterLayer <= core.DefaultBufferBytes {
-				fits += r.InterLayer
+		for _, row := range rows {
+			total += row.InterLayer
+			if row.InterLayer <= core.DefaultBufferBytes {
+				fits += row.InterLayer
 			}
 		}
 		fmt.Fprintf(w, "inter-layer data reusable within 10 MiB: %s of %s (%.1f%%)\n",
@@ -93,10 +112,19 @@ type Fig4Row struct {
 // Fig4 computes ResNet-50's per-block inter-layer data size, minimal
 // iteration count, and the resulting MBS layer grouping (32 samples,
 // 10 MiB).
-func Fig4(w io.Writer) []Fig4Row {
-	net, _ := models.Build("resnet50")
+func Fig4(w io.Writer) []Fig4Row { return seqRunner().Fig4(w) }
+
+// Fig4 is the engine-backed form of the package-level Fig4.
+func (r Runner) Fig4(w io.Writer) []Fig4Row {
+	net, err := r.E.Network("resnet50")
+	if err != nil {
+		panic(err)
+	}
 	opts := core.DefaultOptions(core.MBS1, 32)
-	s := core.MustPlan(net, opts)
+	s, err := r.E.Plan("resnet50", opts)
+	if err != nil {
+		panic(err)
+	}
 	rows := make([]Fig4Row, len(net.Blocks))
 	for i, b := range net.Blocks {
 		rows[i] = Fig4Row{
@@ -114,9 +142,9 @@ func Fig4(w io.Writer) []Fig4Row {
 		t := report.NewTable(
 			"Fig. 4: ResNet-50 per-block data, minimal iterations, MBS grouping (batch 32, 10 MiB)",
 			"block", "data/sample", "min-iters", "group")
-		for _, r := range rows {
-			t.RowF(r.Block, report.Bytes(r.PerSampleData),
-				fmt.Sprint(r.MinIterations), fmt.Sprintf("G%d", r.Group))
+		for _, row := range rows {
+			t.RowF(row.Block, report.Bytes(row.PerSampleData),
+				fmt.Sprint(row.MinIterations), fmt.Sprintf("G%d", row.Group))
 		}
 		t.Render(w)
 	}
@@ -127,9 +155,14 @@ func Fig4(w io.Writer) []Fig4Row {
 
 // Fig5 prints the concrete MBS schedules (MBS1 and MBS2) for a network.
 func Fig5(w io.Writer, network string) ([]*core.Schedule, error) {
+	return seqRunner().Fig5(w, network)
+}
+
+// Fig5 is the engine-backed form of the package-level Fig5.
+func (r Runner) Fig5(w io.Writer, network string) ([]*core.Schedule, error) {
 	var out []*core.Schedule
 	for _, cfg := range []core.Config{core.MBS1, core.MBS2} {
-		s, err := plan(network, cfg)
+		s, err := r.plan(network, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -163,46 +196,50 @@ type Fig10Cell struct {
 // six CNNs) over the baseline HBM2 memory and reports per-step time, energy
 // and DRAM traffic, normalized as in the paper's Fig. 10.
 func Fig10(w io.Writer, networks ...string) ([]Fig10Cell, error) {
+	return seqRunner().Fig10(w, networks...)
+}
+
+// Fig10 is the engine-backed form of the package-level Fig10.
+func (r Runner) Fig10(w io.Writer, networks ...string) ([]Fig10Cell, error) {
 	if len(networks) == 0 {
 		networks = DeepCNNs
 	}
+	grid := sweep.Grid{Networks: networks, Configs: core.Configs}
+	gridCells := grid.Cells()
+	results, err := r.E.SimulateGrid(gridCells)
+	if err != nil {
+		return nil, err
+	}
 	var cells []Fig10Cell
-	for _, name := range networks {
-		var baseT, baseE float64
-		var archT float64
-		var archD int64
-		for _, cfg := range core.Configs {
-			s, err := plan(name, cfg)
-			if err != nil {
-				return nil, err
-			}
-			r, err := sim.Simulate(s, sim.DefaultHW(cfg, memsys.HBM2))
-			if err != nil {
-				return nil, err
-			}
-			if cfg == core.Baseline {
-				baseT, baseE = r.StepSeconds, r.Energy.Total()
-			}
-			if cfg == core.ArchOpt {
-				archT, archD = r.StepSeconds, r.DRAMBytes
-			}
-			c := Fig10Cell{
-				Network: name, Config: cfg,
-				StepSeconds: r.StepSeconds,
-				EnergyJ:     r.Energy.Total(),
-				DRAMBytes:   r.DRAMBytes,
-				Utilization: r.Utilization,
-			}
-			c.SpeedupVsBaseline = baseT / r.StepSeconds
-			if archT > 0 {
-				c.SpeedupVsArchOpt = archT / r.StepSeconds
-			}
-			c.EnergyVsBaseline = r.Energy.Total() / baseE
-			if archD > 0 {
-				c.TrafficVsArchOpt = float64(r.DRAMBytes) / float64(archD)
-			}
-			cells = append(cells, c)
+	// Baseline and ArchOpt lead each network's config run, so the reference
+	// values are always set before the cells that normalize against them.
+	var baseT, baseE, archT float64
+	var archD int64
+	for i, res := range results {
+		gc := gridCells[i]
+		if gc.Config == core.Baseline {
+			baseT, baseE = res.StepSeconds, res.Energy.Total()
+			archT, archD = 0, 0
 		}
+		if gc.Config == core.ArchOpt {
+			archT, archD = res.StepSeconds, res.DRAMBytes
+		}
+		c := Fig10Cell{
+			Network: gc.Network, Config: gc.Config,
+			StepSeconds: res.StepSeconds,
+			EnergyJ:     res.Energy.Total(),
+			DRAMBytes:   res.DRAMBytes,
+			Utilization: res.Utilization,
+		}
+		c.SpeedupVsBaseline = baseT / res.StepSeconds
+		if archT > 0 {
+			c.SpeedupVsArchOpt = archT / res.StepSeconds
+		}
+		c.EnergyVsBaseline = res.Energy.Total() / baseE
+		if archD > 0 {
+			c.TrafficVsArchOpt = float64(res.DRAMBytes) / float64(archD)
+		}
+		cells = append(cells, c)
 	}
 	if w != nil {
 		t := report.NewTable(
@@ -241,27 +278,31 @@ type Fig11Point struct {
 
 // Fig11 sweeps the global buffer from 5 to 40 MiB for ResNet-50 across IL
 // and the MBS variants, normalizing to IL at 5 MiB as in the paper.
-func Fig11(w io.Writer) []Fig11Point {
-	net, _ := models.Build("resnet50")
-	var points []Fig11Point
-	var refT float64
-	var refD int64
+func Fig11(w io.Writer) []Fig11Point { return seqRunner().Fig11(w) }
+
+// Fig11 is the engine-backed form of the package-level Fig11.
+func (r Runner) Fig11(w io.Writer) []Fig11Point {
+	var cells []sweep.Cell
 	for _, mib := range []int64{5, 10, 20, 30, 40} {
 		for _, cfg := range []core.Config{core.IL, core.MBSFS, core.MBS1, core.MBS2} {
-			opts := core.DefaultOptions(cfg, 32)
-			opts.BufferBytes = mib << 20
-			hw := sim.DefaultHW(cfg, memsys.HBM2)
-			hw.GB = hw.GB.WithSize(opts.BufferBytes)
-			r := sim.MustSimulate(core.MustPlan(net, opts), hw)
-			if mib == 5 && cfg == core.IL {
-				refT, refD = r.StepSeconds, r.DRAMBytes
-			}
-			points = append(points, Fig11Point{
-				Config: cfg, BufferMiB: mib,
-				StepSeconds: r.StepSeconds, DRAMBytes: r.DRAMBytes,
+			cells = append(cells, sweep.Cell{
+				Network: "resnet50", Config: cfg, Batch: 32, BufferBytes: mib << 20,
 			})
 		}
 	}
+	results, err := r.E.SimulateGrid(cells)
+	if err != nil {
+		panic(err)
+	}
+	points := make([]Fig11Point, len(cells))
+	for i, res := range results {
+		points[i] = Fig11Point{
+			Config: cells[i].Config, BufferMiB: cells[i].BufferBytes >> 20,
+			StepSeconds: res.StepSeconds, DRAMBytes: res.DRAMBytes,
+		}
+	}
+	// The normalization reference is the first cell: IL at 5 MiB.
+	refT, refD := points[0].StepSeconds, points[0].DRAMBytes
 	if w != nil {
 		t := report.NewTable(
 			"Fig. 11: ResNet-50 sensitivity to global buffer size (normalized to IL at 5 MiB)",
@@ -292,23 +333,30 @@ type Fig12Point struct {
 
 // Fig12 sweeps memory technologies for ResNet-50 and reports the per-layer-
 // type execution time breakdown.
-func Fig12(w io.Writer) []Fig12Point {
-	net, _ := models.Build("resnet50")
-	var points []Fig12Point
-	var ref float64
-	for _, cfg := range []core.Config{core.Baseline, core.ArchOpt, core.IL, core.MBS2} {
-		s := core.MustPlan(net, core.DefaultOptions(cfg, 64))
-		for _, mem := range []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.LPDDR4} {
-			r := sim.MustSimulate(s, sim.DefaultHW(cfg, mem))
-			if ref == 0 {
-				ref = r.StepSeconds
-			}
-			points = append(points, Fig12Point{
-				Config: cfg, Memory: mem.Name,
-				StepSeconds: r.StepSeconds,
-				Speedup:     ref / r.StepSeconds,
-				ByClass:     r.TimeByClass,
-			})
+func Fig12(w io.Writer) []Fig12Point { return seqRunner().Fig12(w) }
+
+// Fig12 is the engine-backed form of the package-level Fig12.
+func (r Runner) Fig12(w io.Writer) []Fig12Point {
+	grid := sweep.Grid{
+		Networks: []string{"resnet50"},
+		Configs:  []core.Config{core.Baseline, core.ArchOpt, core.IL, core.MBS2},
+		Memories: []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.LPDDR4},
+		Batches:  []int{64},
+	}
+	cells := grid.Cells()
+	results, err := r.E.SimulateGrid(cells)
+	if err != nil {
+		panic(err)
+	}
+	// The normalization reference is the first cell: Baseline on HBM2x2.
+	ref := results[0].StepSeconds
+	points := make([]Fig12Point, len(cells))
+	for i, res := range results {
+		points[i] = Fig12Point{
+			Config: cells[i].Config, Memory: cells[i].Memory.Name,
+			StepSeconds: res.StepSeconds,
+			Speedup:     ref / res.StepSeconds,
+			ByClass:     res.TimeByClass,
 		}
 	}
 	if w != nil {
@@ -342,20 +390,46 @@ type Fig13Point struct {
 
 // Fig13 compares the V100 model (conventional training, 64-sample
 // mini-batch) against one WaveCore chip running MBS2 (2 cores x 32).
-func Fig13(w io.Writer) []Fig13Point {
+func Fig13(w io.Writer) []Fig13Point { return seqRunner().Fig13(w) }
+
+// Fig13 is the engine-backed form of the package-level Fig13.
+func (r Runner) Fig13(w io.Writer) []Fig13Point {
 	gpu := sim.DefaultV100()
-	var points []Fig13Point
-	for _, name := range []string{"resnet50", "resnet101", "resnet152", "inceptionv3"} {
-		net, _ := models.Build(name)
-		g := sim.SimulateGPU(gpu, core.MustPlan(net, core.DefaultOptions(core.Baseline, 64)))
-		s := core.MustPlan(net, core.DefaultOptions(core.MBS2, 32))
-		for _, mem := range []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.HBM2, memsys.LPDDR4} {
-			r := sim.MustSimulate(s, sim.DefaultHW(core.MBS2, mem))
-			points = append(points, Fig13Point{
-				Network: name, Memory: mem.Name,
-				GPUSeconds: g.StepSeconds, WCSeconds: r.StepSeconds,
-				Speedup: g.StepSeconds / r.StepSeconds,
-			})
+	networks := []string{"resnet50", "resnet101", "resnet152", "inceptionv3"}
+	memories := []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.HBM2, memsys.LPDDR4}
+	gpuRes, err := sweep.Map(r.E, len(networks), func(i int) (*sim.GPUResult, error) {
+		opts := core.DefaultOptions(core.Baseline, 64)
+		s, err := r.E.Plan(networks[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := r.E.Traffic(networks[i], opts)
+		if err != nil {
+			return nil, err
+		}
+		return sim.SimulateGPUTraffic(gpu, s, tr), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	grid := sweep.Grid{
+		Networks: networks,
+		Configs:  []core.Config{core.MBS2},
+		Memories: memories,
+		Batches:  []int{32},
+	}
+	cells := grid.Cells()
+	results, err := r.E.SimulateGrid(cells)
+	if err != nil {
+		panic(err)
+	}
+	points := make([]Fig13Point, len(cells))
+	for i, res := range results {
+		g := gpuRes[i/len(memories)]
+		points[i] = Fig13Point{
+			Network: cells[i].Network, Memory: cells[i].Memory.Name,
+			GPUSeconds: g.StepSeconds, WCSeconds: res.StepSeconds,
+			Speedup: g.StepSeconds / res.StepSeconds,
 		}
 	}
 	if w != nil {
@@ -382,17 +456,29 @@ type Fig14Cell struct {
 
 // Fig14 measures systolic-array utilization with unlimited DRAM bandwidth
 // for all networks and the five compute-relevant configurations.
-func Fig14(w io.Writer) []Fig14Cell {
+func Fig14(w io.Writer) []Fig14Cell { return seqRunner().Fig14(w) }
+
+// Fig14 is the engine-backed form of the package-level Fig14.
+func (r Runner) Fig14(w io.Writer) []Fig14Cell {
 	configs := []core.Config{core.Baseline, core.ArchOpt, core.MBSFS, core.MBS1, core.MBS2}
-	var cells []Fig14Cell
+	grid := sweep.Grid{
+		Networks: DeepCNNs,
+		Configs:  configs,
+		Memories: []memsys.DRAM{memsys.HBM2.Unlimited()},
+	}
+	gridCells := grid.Cells()
+	results, err := r.E.SimulateGrid(gridCells)
+	if err != nil {
+		panic(err)
+	}
+	cells := make([]Fig14Cell, len(gridCells))
 	sums := make(map[core.Config]float64)
-	for _, name := range DeepCNNs {
-		for _, cfg := range configs {
-			s, _ := plan(name, cfg)
-			r := sim.MustSimulate(s, sim.DefaultHW(cfg, memsys.HBM2.Unlimited()))
-			cells = append(cells, Fig14Cell{Network: name, Config: cfg, Utilization: r.Utilization})
-			sums[cfg] += r.Utilization
+	for i, res := range results {
+		cells[i] = Fig14Cell{
+			Network: gridCells[i].Network, Config: gridCells[i].Config,
+			Utilization: res.Utilization,
 		}
+		sums[gridCells[i].Config] += res.Utilization
 	}
 	if w != nil {
 		t := report.NewTable(
@@ -417,4 +503,41 @@ func Fig14(w io.Writer) []Fig14Cell {
 		t.Render(w)
 	}
 	return cells
+}
+
+// --- Suite ------------------------------------------------------------------
+
+// SuiteEntry is one section of the mbsim -all suite: a name (the JSON key)
+// and a runner that both renders to w (when non-nil) and returns the
+// structured series.
+type SuiteEntry struct {
+	Name string
+	Run  func(r Runner, w io.Writer) (any, error)
+}
+
+// Suite is the single definition of the full simulator evaluation suite —
+// Figs. 10-14 and Tab. 2 in paper order. All, mbsim -all and mbsim
+// -all -json iterate this list, so the rendered and structured outputs
+// cannot drift apart.
+var Suite = []SuiteEntry{
+	{"fig10", func(r Runner, w io.Writer) (any, error) { return r.Fig10(w) }},
+	{"fig11", func(r Runner, w io.Writer) (any, error) { return r.Fig11(w), nil }},
+	{"fig12", func(r Runner, w io.Writer) (any, error) { return r.Fig12(w), nil }},
+	{"fig13", func(r Runner, w io.Writer) (any, error) { return r.Fig13(w), nil }},
+	{"fig14", func(r Runner, w io.Writer) (any, error) { return r.Fig14(w), nil }},
+	{"table2", func(r Runner, w io.Writer) (any, error) { return r.Table2(w), nil }},
+}
+
+// All regenerates the full suite, sections separated by blank lines —
+// exactly as `mbsim -all` prints it.
+func (r Runner) All(w io.Writer) error {
+	for i, s := range Suite {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if _, err := s.Run(r, w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

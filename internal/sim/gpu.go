@@ -67,7 +67,12 @@ func (g GPU) kernelUtil(macs int64) float64 {
 // SimulateGPU runs one conventional training step (full mini-batch,
 // layer-by-layer, Baseline-style memory traffic) on the GPU model.
 func SimulateGPU(gpu GPU, s *core.Schedule) *GPUResult {
-	tr := core.ComputeTraffic(s)
+	return SimulateGPUTraffic(gpu, s, core.ComputeTraffic(s))
+}
+
+// SimulateGPUTraffic is SimulateGPU over a precomputed (possibly cached and
+// shared) traffic ledger.
+func SimulateGPUTraffic(gpu GPU, s *core.Schedule, tr *core.Traffic) *GPUResult {
 	res := &GPUResult{Network: s.Net.Name}
 	for i := range tr.Items {
 		it := &tr.Items[i]

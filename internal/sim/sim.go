@@ -76,6 +76,10 @@ const (
 // Classes lists the buckets in Fig. 12's legend order.
 var Classes = []KindClass{ClassSum, ClassPool, ClassNorm, ClassFC, ClassConv}
 
+// MarshalText renders the class name in JSON output (including as map keys
+// in Fig. 12's per-class breakdown).
+func (k KindClass) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
 func (k KindClass) String() string {
 	switch k {
 	case ClassConv:
@@ -147,10 +151,16 @@ type Result struct {
 
 // Simulate runs one training step of the schedule on the hardware.
 func Simulate(s *core.Schedule, hw HW) (*Result, error) {
+	return SimulateTraffic(s, core.ComputeTraffic(s), hw)
+}
+
+// SimulateTraffic runs one training step using a precomputed traffic ledger
+// for the schedule. The ledger is only read, so callers (e.g. the sweep
+// engine's cache) may share one ledger across concurrent simulations.
+func SimulateTraffic(s *core.Schedule, tr *core.Traffic, hw HW) (*Result, error) {
 	if err := hw.Array.Validate(); err != nil {
 		return nil, err
 	}
-	tr := core.ComputeTraffic(s)
 	res := &Result{
 		Network:  s.Net.Name,
 		Config:   s.Opts.Config,

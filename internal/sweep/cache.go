@@ -1,0 +1,111 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/models"
+)
+
+// memo is a concurrency-safe keyed memoization table with singleflight
+// semantics: concurrent callers of the same key block on one build and share
+// its result (value and error alike).
+type memo[K comparable, V any] struct {
+	mu     sync.Mutex
+	m      map[K]*memoEntry[V]
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// get returns the cached value for k, building it at most once.
+func (mm *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
+	mm.mu.Lock()
+	if mm.m == nil {
+		mm.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := mm.m[k]
+	if !ok {
+		e = new(memoEntry[V])
+		mm.m[k] = e
+	}
+	mm.mu.Unlock()
+	if ok {
+		mm.hits.Add(1)
+	} else {
+		mm.misses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = build() })
+	return e.val, e.err
+}
+
+// planKey identifies one planning problem. core.Options is a flat value
+// struct, so the key is comparable and two cells that agree on every
+// planning input share one schedule and one traffic ledger.
+type planKey struct {
+	network string
+	opts    core.Options
+}
+
+// Cache memoizes the expensive artifacts shared between sweep cells: built
+// networks, MBS schedules, and per-step traffic ledgers. All three are
+// immutable after construction, so cached values are shared freely across
+// goroutines. The zero value is ready to use.
+type Cache struct {
+	nets    memo[string, *graph.Network]
+	plans   memo[planKey, *core.Schedule]
+	ledgers memo[planKey, *core.Traffic]
+}
+
+// Network returns the built network for name, constructing it on first use.
+func (c *Cache) Network(name string) (*graph.Network, error) {
+	return c.nets.get(name, func() (*graph.Network, error) {
+		return models.Build(name)
+	})
+}
+
+// Plan returns the MBS schedule for (network, opts), planning on first use.
+func (c *Cache) Plan(network string, opts core.Options) (*core.Schedule, error) {
+	return c.plans.get(planKey{network, opts}, func() (*core.Schedule, error) {
+		net, err := c.Network(network)
+		if err != nil {
+			return nil, err
+		}
+		return core.Plan(net, opts)
+	})
+}
+
+// Traffic returns the traffic ledger for (network, opts), walking the
+// schedule on first use.
+func (c *Cache) Traffic(network string, opts core.Options) (*core.Traffic, error) {
+	return c.ledgers.get(planKey{network, opts}, func() (*core.Traffic, error) {
+		s, err := c.Plan(network, opts)
+		if err != nil {
+			return nil, err
+		}
+		return core.ComputeTraffic(s), nil
+	})
+}
+
+// Stats reports hit/miss counters per cache table.
+type Stats struct {
+	NetworkHits, NetworkMisses int64
+	PlanHits, PlanMisses       int64
+	TrafficHits, TrafficMisses int64
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		NetworkHits: c.nets.hits.Load(), NetworkMisses: c.nets.misses.Load(),
+		PlanHits: c.plans.hits.Load(), PlanMisses: c.plans.misses.Load(),
+		TrafficHits: c.ledgers.hits.Load(), TrafficMisses: c.ledgers.misses.Load(),
+	}
+}

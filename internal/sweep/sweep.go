@@ -1,0 +1,289 @@
+// Package sweep is the concurrent experiment engine behind the evaluation
+// suite. It expresses figures, tables and custom scenarios as job grids over
+// (network, config, memory, batch, buffer) cells, executes the cells on a
+// bounded worker pool with deterministic result ordering, and memoizes the
+// expensive shared artifacts — built networks, MBS schedules and traffic
+// ledgers — so cells repeated within and across figures are computed once.
+//
+// Determinism is a hard guarantee: results come back in cell order whatever
+// the worker count, and every per-cell computation is a pure function of the
+// cell, so a run at -parallel N is byte-identical to a sequential run.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Engine runs experiment cells across a worker pool, sharing one Cache.
+type Engine struct {
+	workers int
+	cache   *Cache
+}
+
+// New returns an engine with the given worker count; workers <= 0 selects
+// GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: new(Cache)}
+}
+
+// Workers returns the engine's worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's artifact cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Network returns the cached network for name.
+func (e *Engine) Network(name string) (*graph.Network, error) {
+	return e.cache.Network(name)
+}
+
+// Plan returns the cached schedule for (network, opts).
+func (e *Engine) Plan(network string, opts core.Options) (*core.Schedule, error) {
+	return e.cache.Plan(network, opts)
+}
+
+// Traffic returns the cached traffic ledger for (network, opts).
+func (e *Engine) Traffic(network string, opts core.Options) (*core.Traffic, error) {
+	return e.cache.Traffic(network, opts)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to e.Workers() goroutines and
+// returns the results in index order. Indices are claimed in increasing
+// order; on failure no further indices are started and the error at the
+// lowest index is returned, so the reported error does not depend on
+// goroutine scheduling.
+func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := min(e.workers, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var errIdx atomic.Int64
+	errIdx.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Stop claiming after a failure, but a claimed index always
+				// runs — otherwise a preempted worker could skip a
+				// lower-index failure and break the lowest-index guarantee.
+				if errIdx.Load() < int64(n) {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := errIdx.Load()
+						if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := errIdx.Load(); idx < int64(n) {
+		return nil, errs[idx]
+	}
+	return out, nil
+}
+
+// Cell is one point of an experiment grid. Zero fields take the paper's
+// defaults: HBM2 memory, the network's default mini-batch, a 10 MiB buffer.
+type Cell struct {
+	Network     string
+	Config      core.Config
+	Memory      memsys.DRAM // zero value selects HBM2
+	Batch       int         // 0 selects models.DefaultBatch(Network)
+	BufferBytes int64       // 0 selects core.DefaultBufferBytes
+}
+
+// normalized resolves the cell's defaulted fields.
+func (c Cell) normalized() Cell {
+	if c.Memory.Name == "" {
+		c.Memory = memsys.HBM2
+	}
+	if c.Batch == 0 {
+		c.Batch = models.DefaultBatch(c.Network)
+	}
+	if c.BufferBytes == 0 {
+		c.BufferBytes = core.DefaultBufferBytes
+	}
+	return c
+}
+
+// Options returns the planning options the cell resolves to.
+func (c Cell) Options() core.Options {
+	c = c.normalized()
+	opts := core.DefaultOptions(c.Config, c.Batch)
+	opts.BufferBytes = c.BufferBytes
+	return opts
+}
+
+// String labels the cell for logs and errors.
+func (c Cell) String() string {
+	c = c.normalized()
+	return fmt.Sprintf("%s/%s/%s/b%d/%dMiB",
+		c.Network, c.Config, c.Memory.Name, c.Batch, c.BufferBytes>>20)
+}
+
+// Grid is the cartesian product of experiment axes. Empty axes collapse to
+// a single zero value, i.e. the Cell default for that axis.
+type Grid struct {
+	Networks []string
+	Configs  []core.Config
+	Memories []memsys.DRAM
+	Batches  []int
+	Buffers  []int64 // bytes
+}
+
+// Cells enumerates the grid in deterministic order: networks outermost,
+// then configs, memories, batches, buffers.
+func (g Grid) Cells() []Cell {
+	networks := g.Networks
+	if len(networks) == 0 {
+		networks = []string{""}
+	}
+	configs := g.Configs
+	if len(configs) == 0 {
+		configs = []core.Config{core.Baseline}
+	}
+	memories := g.Memories
+	if len(memories) == 0 {
+		memories = []memsys.DRAM{{}}
+	}
+	batches := g.Batches
+	if len(batches) == 0 {
+		batches = []int{0}
+	}
+	buffers := g.Buffers
+	if len(buffers) == 0 {
+		buffers = []int64{0}
+	}
+	cells := make([]Cell, 0, len(networks)*len(configs)*len(memories)*len(batches)*len(buffers))
+	for _, n := range networks {
+		for _, cfg := range configs {
+			for _, mem := range memories {
+				for _, b := range batches {
+					for _, buf := range buffers {
+						cells = append(cells, Cell{
+							Network: n, Config: cfg, Memory: mem,
+							Batch: b, BufferBytes: buf,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Simulate runs one cell: it plans (or reuses) the schedule and traffic
+// ledger for the cell's planning inputs and simulates a training step on
+// the cell's memory system.
+func (e *Engine) Simulate(cell Cell) (*sim.Result, error) {
+	cell = cell.normalized()
+	opts := cell.Options()
+	s, err := e.cache.Plan(cell.Network, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
+	}
+	tr, err := e.cache.Traffic(cell.Network, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
+	}
+	hw := sim.DefaultHW(cell.Config, cell.Memory)
+	hw.GB = hw.GB.WithSize(opts.BufferBytes)
+	r, err := sim.SimulateTraffic(s, tr, hw)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
+	}
+	return r, nil
+}
+
+// SimulateGrid simulates every cell concurrently, returning results in cell
+// order.
+func (e *Engine) SimulateGrid(cells []Cell) ([]*sim.Result, error) {
+	return Map(e, len(cells), func(i int) (*sim.Result, error) {
+		return e.Simulate(cells[i])
+	})
+}
+
+// Row is the flattened result of one simulated cell, suitable for aligned
+// tables and JSON output.
+type Row struct {
+	Network     string      `json:"network"`
+	Config      core.Config `json:"config"`
+	Memory      string      `json:"memory"`
+	Batch       int         `json:"batch"`
+	BufferMiB   int64       `json:"buffer_mib"`
+	StepSeconds float64     `json:"step_seconds"`
+	DRAMBytes   int64       `json:"dram_bytes"`
+	GBBytes     int64       `json:"gb_bytes"`
+	Utilization float64     `json:"utilization"`
+	EnergyJ     float64     `json:"energy_joules"`
+}
+
+// RowOf flattens one cell's simulation result.
+func RowOf(c Cell, r *sim.Result) Row {
+	c = c.normalized()
+	return Row{
+		Network: c.Network, Config: c.Config, Memory: c.Memory.Name,
+		Batch: c.Batch, BufferMiB: c.BufferBytes >> 20,
+		StepSeconds: r.StepSeconds, DRAMBytes: r.DRAMBytes, GBBytes: r.GBBytes,
+		Utilization: r.Utilization, EnergyJ: r.Energy.Total(),
+	}
+}
+
+// Rows flattens a grid's results pairwise; cells and results must be the
+// same length (as returned by SimulateGrid).
+func Rows(cells []Cell, results []*sim.Result) []Row {
+	rows := make([]Row, len(cells))
+	for i := range cells {
+		rows[i] = RowOf(cells[i], results[i])
+	}
+	return rows
+}
+
+// RenderRows writes a sweep result table in the report style.
+func RenderRows(w io.Writer, title string, rows []Row) {
+	t := report.NewTable(title,
+		"network", "config", "memory", "batch", "buffer",
+		"time", "DRAM", "GB", "util", "energy")
+	for _, r := range rows {
+		t.RowF(r.Network, r.Config.String(), r.Memory,
+			fmt.Sprint(r.Batch), fmt.Sprintf("%d MiB", r.BufferMiB),
+			report.Ms(r.StepSeconds),
+			fmt.Sprintf("%.2f GB", float64(r.DRAMBytes)/1e9),
+			fmt.Sprintf("%.2f GB", float64(r.GBBytes)/1e9),
+			report.Pct(r.Utilization),
+			fmt.Sprintf("%.2f J", r.EnergyJ))
+	}
+	t.Render(w)
+}
