@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke golden clean
+.PHONY: all build test race vet bench-smoke bench-json golden clean
+
+# The trajectory snapshot written by bench-json; bump the index per PR so
+# history accumulates (BENCH_2.json was the first, from the kernel-engine PR).
+BENCH_JSON ?= BENCH_2.json
 
 all: build test
 
@@ -22,6 +26,12 @@ vet:
 # headline numbers (no -benchtime tuning, no stability claims).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Headline kernel/training benchmarks as a JSON snapshot for the perf
+# trajectory: future PRs re-run this and diff against the committed file.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep' \
+		-benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # Regenerate the pinned figure/table outputs after an intentional change to
 # the scheduler or simulator models. Inspect the git diff before committing.

@@ -1,0 +1,92 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark snapshot on stdout. It exists so `make bench-json` can write
+// BENCH_<n>.json trajectory files that future PRs diff against to catch
+// performance regressions:
+//
+//	go test -run '^$' -bench 'Kernel|TrainStep' -benchmem . | benchjson > BENCH_2.json
+//
+// Only the stable fields are captured (name, ns/op and, when -benchmem is
+// on, B/op and allocs/op); custom metrics and the iteration count are
+// dropped, since they are not comparable across -benchtime settings.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the file layout: context fields plus the results.
+type Snapshot struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(.*)$`)
+	memPart   = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
+	ctxLine   = regexp.MustCompile(`^(goos|goarch|cpu): (.+)$`)
+)
+
+func main() {
+	snap := Snapshot{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := ctxLine.FindStringSubmatch(line); m != nil {
+			switch m[1] {
+			case "goos":
+				snap.GOOS = m[2]
+			case "goarch":
+				snap.GOARCH = m[2]
+			case "cpu":
+				snap.CPU = m[2]
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], NsPerOp: ns}
+		if mm := memPart.FindStringSubmatch(m[3]); mm != nil {
+			bytes, _ := strconv.ParseInt(mm[1], 10, 64)
+			allocs, _ := strconv.ParseInt(mm[2], 10, 64)
+			r.BytesPerOp = &bytes
+			r.AllocsPerOp = &allocs
+		}
+		snap.Results = append(snap.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

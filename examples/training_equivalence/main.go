@@ -17,6 +17,13 @@ import (
 )
 
 func main() {
+	// Run on the GEMM kernel engine (the default): convolutions execute as
+	// im2col + blocked parallel GEMM — the formulation the paper's
+	// accelerator runs — and the equivalence below holds identically on
+	// the naive reference engine (tensor.EngineNaive).
+	tensor.SetEngine(tensor.EngineGEMM)
+	fmt.Printf("kernel engine: %s (%d threads)\n\n", tensor.CurrentEngine(), tensor.Threads())
+
 	// Build two identical GN models (same seed, same init).
 	mkModel := func() *nn.Model {
 		return nn.BuildSmallCNN(rand.New(rand.NewSource(7)), 3, 16, 8, nn.NormGroup, 8)

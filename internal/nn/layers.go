@@ -5,6 +5,11 @@
 // claims: GN is compatible with MBS (sub-batch serialization computes
 // exactly the full-batch gradients) while BN is not, and GN+MBS trains as
 // well as BN (the Fig. 6 substitute experiment).
+//
+// Layers run on the tensor package's kernel engine: under the default
+// tensor.EngineGEMM they use GEMM-lowered kernels and persistent per-layer
+// buffers (zero steady-state allocations); under tensor.EngineNaive they
+// keep the original allocate-fresh reference flow.
 package nn
 
 import (
@@ -42,6 +47,68 @@ type Layer interface {
 	Params() []*Param
 }
 
+// reuseBuffers reports whether layers should run on the GEMM engine's
+// optimized training path: persistent per-layer output/gradient buffers
+// (zero steady-state allocations) and GEMM-lowered kernels. The naive
+// engine keeps the original allocate-fresh-tensors flow as the reference
+// oracle.
+//
+// Buffer lifetime argument: a layer's forward output is consumed by the
+// next layer's forward and, in training, cached as that layer's input until
+// its backward runs; a layer's backward dx is consumed immediately by the
+// previous layer's backward. Both are dead by the time the same layer runs
+// its next forward/backward, so reusing one out and one dx buffer per layer
+// is safe for full-batch and MBS sub-batch flows alike. Evaluation forwards
+// (train=false) write to a separate buffer set, so an Evaluate between a
+// training forward and its backward cannot clobber cached activations.
+func reuseBuffers() bool { return tensor.CurrentEngine() == tensor.EngineGEMM }
+
+// outBufs is the train/eval pair of persistent forward-output buffers a
+// layer reuses under the GEMM engine.
+type outBufs struct {
+	train, eval *tensor.Tensor
+}
+
+// sel picks the buffer slot for the given mode.
+func (o *outBufs) sel(train bool) **tensor.Tensor {
+	if train {
+		return &o.train
+	}
+	return &o.eval
+}
+
+// ensureLike returns *buf if it matches ref's shape, otherwise installs a
+// fresh tensor of that shape.
+func ensureLike(buf **tensor.Tensor, ref *tensor.Tensor) *tensor.Tensor {
+	if t := *buf; t != nil && t.SameShape(ref) {
+		return t
+	}
+	t := tensor.New(ref.Shape...)
+	*buf = t
+	return t
+}
+
+// ensure2 returns *buf if it is an [a,b] tensor, otherwise reallocates.
+func ensure2(buf **tensor.Tensor, a, b int) *tensor.Tensor {
+	if t := *buf; t != nil && len(t.Shape) == 2 && t.Shape[0] == a && t.Shape[1] == b {
+		return t
+	}
+	t := tensor.New(a, b)
+	*buf = t
+	return t
+}
+
+// ensure4 returns *buf if it is an [a,b,c,d] tensor, otherwise reallocates.
+func ensure4(buf **tensor.Tensor, a, b, c, d int) *tensor.Tensor {
+	if t := *buf; t != nil && len(t.Shape) == 4 &&
+		t.Shape[0] == a && t.Shape[1] == b && t.Shape[2] == c && t.Shape[3] == d {
+		return t
+	}
+	t := tensor.New(a, b, c, d)
+	*buf = t
+	return t
+}
+
 // --- Conv2D -----------------------------------------------------------------
 
 // Conv2D is a 2-D convolution with bias.
@@ -50,6 +117,9 @@ type Conv2D struct {
 	Weight *Param
 	Bias   *Param
 	x      *tensor.Tensor
+	// Persistent buffers for the GEMM engine's allocation-free path.
+	out outBufs
+	dx  *tensor.Tensor
 }
 
 // NewConv2D builds a convolution with He-normal initialization.
@@ -72,11 +142,24 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.x = x
 	}
+	if reuseBuffers() {
+		oh, ow := c.Spec.OutDims(x.Shape[2], x.Shape[3])
+		out := ensure4(c.out.sel(train), x.Shape[0], c.Spec.OutC, oh, ow)
+		tensor.Conv2DInto(out, x, c.Weight.Data, c.Bias.Data, c.Spec)
+		return out
+	}
 	return tensor.Conv2D(x, c.Weight.Data, c.Bias.Data, c.Spec)
 }
 
 // Backward accumulates weight/bias gradients and returns dx.
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if reuseBuffers() {
+		// Gradients accumulate straight into the Param buffers — no
+		// intermediate dw/db tensors.
+		dx := ensureLike(&c.dx, c.x)
+		tensor.Conv2DBackwardInto(dx, c.Weight.Grad, c.Bias.Grad, c.x, c.Weight.Data, dy, c.Spec)
+		return dx
+	}
 	dx, dw, db := tensor.Conv2DBackward(c.x, c.Weight.Data, dy, c.Spec)
 	c.Weight.Grad.AddInPlace(dw)
 	c.Bias.Grad.AddInPlace(db)
@@ -94,6 +177,8 @@ type Linear struct {
 	Weight  *Param // [In, Out]
 	Bias    *Param // [Out]
 	x       *tensor.Tensor
+	out     outBufs
+	dx      *tensor.Tensor
 }
 
 // NewLinear builds a dense layer with He-normal initialization.
@@ -113,6 +198,17 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.x = x
 	}
 	n := x.Shape[0]
+	if reuseBuffers() {
+		out := ensure2(l.out.sel(train), n, l.Out)
+		tensor.MatMulInto(out, x, l.Weight.Data)
+		for i := 0; i < n; i++ {
+			row := out.Data[i*l.Out : (i+1)*l.Out]
+			for o, b := range l.Bias.Data.Data {
+				row[o] += b
+			}
+		}
+		return out
+	}
 	out := tensor.New(n, l.Out)
 	for i := 0; i < n; i++ {
 		for o := 0; o < l.Out; o++ {
@@ -129,6 +225,19 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates gradients and returns dx.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := dy.Shape[0]
+	if reuseBuffers() {
+		dx := ensure2(&l.dx, n, l.In)
+		dx.Zero()
+		tensor.AddMatMulNT(dx, dy, l.Weight.Data)  // dx  = dy · W^T
+		tensor.AddMatMulTN(l.Weight.Grad, l.x, dy) // dW += x^T · dy
+		for i := 0; i < n; i++ {                   // db += column sums
+			row := dy.Data[i*l.Out : (i+1)*l.Out]
+			for o, g := range row {
+				l.Bias.Grad.Data[o] += g
+			}
+		}
+		return dx
+	}
 	dx := tensor.New(n, l.In)
 	for i := 0; i < n; i++ {
 		for o := 0; o < l.Out; o++ {
@@ -152,10 +261,38 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 // 1-bit-per-element information MBS stashes instead of the activation.
 type ReLU struct {
 	mask []bool
+	out  outBufs
+	dx   *tensor.Tensor
 }
 
 // Forward clamps negatives to zero.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if reuseBuffers() {
+		out := ensureLike(r.out.sel(train), x)
+		if train {
+			if len(r.mask) != len(x.Data) {
+				r.mask = make([]bool, len(x.Data))
+			}
+			for i, v := range x.Data {
+				if v > 0 {
+					out.Data[i] = v
+					r.mask[i] = true
+				} else {
+					out.Data[i] = 0
+					r.mask[i] = false
+				}
+			}
+		} else {
+			for i, v := range x.Data {
+				if v > 0 {
+					out.Data[i] = v
+				} else {
+					out.Data[i] = 0
+				}
+			}
+		}
+		return out
+	}
 	out := x.Clone()
 	if train {
 		r.mask = make([]bool, len(x.Data))
@@ -174,6 +311,17 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward gates the gradient by the stored sign mask.
 func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if reuseBuffers() {
+		dx := ensureLike(&r.dx, dy)
+		for i, g := range dy.Data {
+			if r.mask[i] {
+				dx.Data[i] = g
+			} else {
+				dx.Data[i] = 0
+			}
+		}
+		return dx
+	}
 	dx := dy.Clone()
 	for i := range dx.Data {
 		if !r.mask[i] {
@@ -191,12 +339,33 @@ func (r *ReLU) Params() []*Param { return nil }
 // MaxPool2 is k x k max pooling.
 type MaxPool2 struct {
 	K, Stride int
-	arg       []int
+	arg       []int // training argmax map (consumed by Backward)
+	evalArg   []int // scratch argmax map for train=false forwards
 	inShape   []int
+	out       outBufs
+	dx        *tensor.Tensor
 }
 
 // Forward pools and records argmax positions.
 func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if reuseBuffers() {
+		n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+		oh := (h-p.K)/p.Stride + 1
+		ow := (w-p.K)/p.Stride + 1
+		out := ensure4(p.out.sel(train), n, c, oh, ow)
+		arg := &p.evalArg
+		if train {
+			arg = &p.arg
+		}
+		if len(*arg) != out.Len() {
+			*arg = make([]int, out.Len())
+		}
+		tensor.MaxPool2DInto(out, *arg, x, p.K, p.Stride)
+		if train {
+			p.inShape = append(p.inShape[:0], x.Shape...)
+		}
+		return out
+	}
 	out, arg := tensor.MaxPool2D(x, p.K, p.Stride)
 	if train {
 		p.arg = arg
@@ -207,6 +376,11 @@ func (p *MaxPool2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward scatters gradients to the argmax positions.
 func (p *MaxPool2) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if reuseBuffers() {
+		dx := ensure4(&p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+		tensor.MaxPool2DBackwardInto(dx, dy, p.arg)
+		return dx
+	}
 	return tensor.MaxPool2DBackward(dy, p.arg, p.inShape)
 }
 
@@ -218,10 +392,20 @@ func (p *MaxPool2) Params() []*Param { return nil }
 // GlobalAvgPool reduces spatial dims to 1x1 and flattens to [N, C].
 type GlobalAvgPool struct {
 	inShape []int
+	out     outBufs
+	dx      *tensor.Tensor
 }
 
 // Forward averages each channel.
 func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if reuseBuffers() {
+		if train {
+			p.inShape = append(p.inShape[:0], x.Shape...)
+		}
+		out := ensure2(p.out.sel(train), x.Shape[0], x.Shape[1])
+		tensor.GlobalAvgPoolInto(out, x)
+		return out
+	}
 	if train {
 		p.inShape = append([]int(nil), x.Shape...)
 	}
@@ -230,6 +414,11 @@ func (p *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward broadcasts the gradient uniformly.
 func (p *GlobalAvgPool) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if reuseBuffers() {
+		dx := ensure4(&p.dx, p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3])
+		tensor.GlobalAvgPoolBackwardInto(dx, dy)
+		return dx
+	}
 	return tensor.GlobalAvgPoolBackward(dy, p.inShape)
 }
 

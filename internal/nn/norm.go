@@ -20,6 +20,8 @@ type BatchNorm2D struct {
 	x            *tensor.Tensor
 	xhat         *tensor.Tensor
 	mean, invStd []float64
+	out          outBufs // persistent GEMM-engine buffers
+	dx           *tensor.Tensor
 	// LastPreActMean records the mean of the normalized output (the
 	// "pre-activation mean" curve of Fig. 6's right panels).
 	LastPreActMean float64
@@ -48,7 +50,12 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	validateShape(x, 4, "BatchNorm2D")
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(x.Shape...)
+	var out *tensor.Tensor
+	if reuseBuffers() {
+		out = ensureLike(b.out.sel(train), x)
+	} else {
+		out = tensor.New(x.Shape...)
+	}
 	if !train {
 		for ni := 0; ni < n; ni++ {
 			for ci := 0; ci < c; ci++ {
@@ -66,9 +73,17 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 
 	b.x = x
-	b.mean = make([]float64, c)
-	b.invStd = make([]float64, c)
-	b.xhat = tensor.New(x.Shape...)
+	if reuseBuffers() {
+		if len(b.mean) != c {
+			b.mean = make([]float64, c)
+			b.invStd = make([]float64, c)
+		}
+		b.xhat = ensureLike(&b.xhat, x)
+	} else {
+		b.mean = make([]float64, c)
+		b.invStd = make([]float64, c)
+		b.xhat = tensor.New(x.Shape...)
+	}
 	cnt := float64(n * h * w)
 	for ci := 0; ci < c; ci++ {
 		var sum float64
@@ -113,7 +128,12 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward computes BN gradients (standard reduction over batch+spatial).
 func (b *BatchNorm2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
-	dx := tensor.New(dy.Shape...)
+	var dx *tensor.Tensor
+	if reuseBuffers() {
+		dx = ensureLike(&b.dx, dy) // fully overwritten below
+	} else {
+		dx = tensor.New(dy.Shape...)
+	}
 	cnt := float64(n * h * w)
 	for ci := 0; ci < c; ci++ {
 		var sumDy, sumDyXhat float64
@@ -156,6 +176,8 @@ type GroupNorm struct {
 	x           *tensor.Tensor
 	xhat        *tensor.Tensor
 	invStd      []float64 // per (sample, group)
+	out         outBufs   // persistent GEMM-engine buffers
+	dx          *tensor.Tensor
 	// LastPreActMean mirrors BatchNorm2D's Fig. 6 instrumentation.
 	LastPreActMean float64
 }
@@ -178,13 +200,25 @@ func NewGroupNorm(name string, c, groups int) *GroupNorm {
 func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	validateShape(x, 4, "GroupNorm")
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(x.Shape...)
+	var out *tensor.Tensor
+	if reuseBuffers() {
+		out = ensureLike(gn.out.sel(train), x)
+	} else {
+		out = tensor.New(x.Shape...)
+	}
 	cpg := c / gn.Groups
 	cnt := float64(cpg * h * w)
 	if train {
 		gn.x = x
-		gn.xhat = tensor.New(x.Shape...)
-		gn.invStd = make([]float64, n*gn.Groups)
+		if reuseBuffers() {
+			gn.xhat = ensureLike(&gn.xhat, x)
+			if len(gn.invStd) != n*gn.Groups {
+				gn.invStd = make([]float64, n*gn.Groups)
+			}
+		} else {
+			gn.xhat = tensor.New(x.Shape...)
+			gn.invStd = make([]float64, n*gn.Groups)
+		}
 	}
 	for ni := 0; ni < n; ni++ {
 		for gi := 0; gi < gn.Groups; gi++ {
@@ -231,7 +265,12 @@ func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward computes GN gradients per (sample, group).
 func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
-	dx := tensor.New(dy.Shape...)
+	var dx *tensor.Tensor
+	if reuseBuffers() {
+		dx = ensureLike(&gn.dx, dy) // fully overwritten below
+	} else {
+		dx = tensor.New(dy.Shape...)
+	}
 	cpg := c / gn.Groups
 	cnt := float64(cpg * h * w)
 	// Parameter gradients reduce over batch and spatial dims per channel.

@@ -11,11 +11,17 @@ import (
 // SoftmaxCrossEntropy computes the mean cross-entropy loss over a batch of
 // logits [N, K] with integer labels, returning the loss and dLogits.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape[0], logits.Shape[1])
+	return softmaxCrossEntropyInto(grad, logits, labels), grad
+}
+
+// softmaxCrossEntropyInto writes dLogits into a preallocated grad tensor
+// and returns the loss (the buffer-reusing path of the GEMM engine).
+func softmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	n, k := logits.Shape[0], logits.Shape[1]
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d samples", len(labels), n))
 	}
-	grad := tensor.New(n, k)
 	var loss float64
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*k : (i+1)*k]
@@ -41,7 +47,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 			grad.Data[i*k+j] = g * inv
 		}
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }
 
 // SGD is stochastic gradient descent with momentum and weight decay
@@ -67,22 +73,46 @@ func (o *SGD) Step(params []*Param) {
 // Model wraps a Sequential with its classifier head conveniences.
 type Model struct {
 	Net *Sequential
+
+	params   []*Param       // memoized: Sequential.Params allocates per call
+	lossGrad *tensor.Tensor // reused dLogits buffer (GEMM engine)
+}
+
+// Params returns the model's parameters, memoized — the layer structure is
+// fixed after construction, so the hot training loop shouldn't rebuild the
+// slice every step.
+func (m *Model) Params() []*Param {
+	if m.params == nil {
+		m.params = m.Net.Params()
+	}
+	return m.params
 }
 
 // Loss runs a forward pass and the loss on a full batch.
 func (m *Model) Loss(x *tensor.Tensor, labels []int, train bool) (float64, *tensor.Tensor) {
 	logits := m.Net.Forward(x, train)
+	if reuseBuffers() {
+		grad := ensure2(&m.lossGrad, logits.Shape[0], logits.Shape[1])
+		return softmaxCrossEntropyInto(grad, logits, labels), grad
+	}
 	return SoftmaxCrossEntropy(logits, labels)
+}
+
+// zeroGrads clears the memoized parameter gradients.
+func (m *Model) zeroGrads() {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
 }
 
 // TrainStepFull runs one conventional training step: the entire mini-batch
 // propagates through every layer together (the paper's baseline flow).
 // Returns the loss.
 func (m *Model) TrainStepFull(x *tensor.Tensor, labels []int, opt *SGD) float64 {
-	ZeroGrads(m.Net)
+	m.zeroGrads()
 	loss, dlogits := m.Loss(x, labels, true)
 	m.Net.Backward(dlogits)
-	opt.Step(m.Net.Params())
+	opt.Step(m.Params())
 	return loss
 }
 
@@ -101,7 +131,7 @@ func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *
 	if subBatch <= 0 || subBatch > n {
 		subBatch = n
 	}
-	ZeroGrads(m.Net)
+	m.zeroGrads()
 	var loss float64
 	for from := 0; from < n; from += subBatch {
 		to := from + subBatch
@@ -110,8 +140,7 @@ func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *
 		}
 		xs := tensor.SliceBatch(x, from, to)
 		ls := labels[from:to]
-		logits := m.Net.Forward(xs, true)
-		subLoss, dlogits := SoftmaxCrossEntropy(logits, ls)
+		subLoss, dlogits := m.Loss(xs, ls, true)
 		// The loss averages over the sub-batch; re-scale so that gradient
 		// contributions accumulate to the full-batch mean.
 		scale := float64(to-from) / float64(n)
@@ -119,14 +148,14 @@ func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *
 		m.Net.Backward(dlogits)
 		loss += subLoss * scale
 	}
-	opt.Step(m.Net.Params())
+	opt.Step(m.Params())
 	return loss
 }
 
 // AccumulateGradsFull computes full-batch gradients without updating
 // parameters (test hook for the equivalence property).
 func (m *Model) AccumulateGradsFull(x *tensor.Tensor, labels []int) float64 {
-	ZeroGrads(m.Net)
+	m.zeroGrads()
 	loss, dlogits := m.Loss(x, labels, true)
 	m.Net.Backward(dlogits)
 	return loss
@@ -136,7 +165,7 @@ func (m *Model) AccumulateGradsFull(x *tensor.Tensor, labels []int) float64 {
 // parameters (test hook for the equivalence property).
 func (m *Model) AccumulateGradsMBS(x *tensor.Tensor, labels []int, subBatch int) float64 {
 	n := x.Shape[0]
-	ZeroGrads(m.Net)
+	m.zeroGrads()
 	var loss float64
 	for from := 0; from < n; from += subBatch {
 		to := from + subBatch
@@ -144,8 +173,7 @@ func (m *Model) AccumulateGradsMBS(x *tensor.Tensor, labels []int, subBatch int)
 			to = n
 		}
 		xs := tensor.SliceBatch(x, from, to)
-		logits := m.Net.Forward(xs, true)
-		subLoss, dlogits := SoftmaxCrossEntropy(logits, labels[from:to])
+		subLoss, dlogits := m.Loss(xs, labels[from:to], true)
 		scale := float64(to-from) / float64(n)
 		dlogits.Scale(scale)
 		m.Net.Backward(dlogits)

@@ -16,13 +16,44 @@ func (s ConvSpec) OutDims(h, w int) (oh, ow int) {
 	return (h+2*s.PadH-s.KH)/s.StrideH + 1, (w+2*s.PadW-s.KW)/s.StrideW + 1
 }
 
-// Conv2D computes a direct 2-D convolution.
+// Conv2D computes a 2-D convolution with the currently selected Engine.
 // x: [N, InC, H, W], weight: [OutC, InC, KH, KW], bias: [OutC] (may be nil).
 // Returns [N, OutC, OH, OW].
 func Conv2D(x, weight, bias *Tensor, s ConvSpec) *Tensor {
+	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+	out := New(x.Shape[0], s.OutC, oh, ow)
+	Conv2DInto(out, x, weight, bias, s)
+	return out
+}
+
+// Conv2DInto computes the convolution into a preallocated out tensor
+// (overwriting it), dispatching on the current Engine. Reusing out across
+// steps is what lets steady-state training run allocation-free.
+func Conv2DInto(out, x, weight, bias *Tensor, s ConvSpec) {
+	n := x.Shape[0]
+	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+	if out.Shape[0] != n || out.Shape[1] != s.OutC || out.Shape[2] != oh || out.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: conv out shape %v, want [%d %d %d %d]", out.Shape, n, s.OutC, oh, ow))
+	}
+	if CurrentEngine() == EngineNaive {
+		conv2DNaiveInto(out, x, weight, bias, s)
+		return
+	}
+	conv2DGEMM(out, x, weight, bias, s)
+}
+
+// Conv2DNaive is the direct 7-loop reference convolution — the oracle the
+// GEMM engine is validated against.
+func Conv2DNaive(x, weight, bias *Tensor, s ConvSpec) *Tensor {
+	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+	out := New(x.Shape[0], s.OutC, oh, ow)
+	conv2DNaiveInto(out, x, weight, bias, s)
+	return out
+}
+
+func conv2DNaiveInto(out, x, weight, bias *Tensor, s ConvSpec) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := s.OutDims(h, w)
-	out := New(n, s.OutC, oh, ow)
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < s.OutC; oc++ {
 			b := 0.0
@@ -53,21 +84,59 @@ func Conv2D(x, weight, bias *Tensor, s ConvSpec) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// Conv2DBackward computes the gradients of a direct convolution.
-// Returns dx [N,InC,H,W], dw [OutC,InC,KH,KW], db [OutC].
+// Conv2DBackward computes the gradients of a convolution with the currently
+// selected Engine. Returns dx [N,InC,H,W], dw [OutC,InC,KH,KW], db [OutC].
 func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
+	dx = New(x.Shape...)
+	dw = New(s.OutC, s.InC, s.KH, s.KW)
+	db = New(s.OutC)
+	Conv2DBackwardInto(dx, dw, db, x, weight, dy, s)
+	return dx, dw, db
+}
+
+// Conv2DBackwardInto computes convolution gradients into preallocated
+// tensors: dx is overwritten, while dwAcc and dbAcc are accumulated into
+// (+=) — so parameter gradients can land directly in a trainer's gradient
+// buffers without an intermediate tensor.
+func Conv2DBackwardInto(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := s.OutDims(h, w)
 	if dy.Shape[0] != n || dy.Shape[1] != s.OutC || dy.Shape[2] != oh || dy.Shape[3] != ow {
 		panic(fmt.Sprintf("tensor: dy shape %v mismatches conv output [%d %d %d %d]",
 			dy.Shape, n, s.OutC, oh, ow))
 	}
-	dx = New(n, s.InC, h, w)
+	if !dx.SameShape(x) {
+		panic(fmt.Sprintf("tensor: dx shape %v, want %v", dx.Shape, x.Shape))
+	}
+	if !dwAcc.SameShape(weight) {
+		panic(fmt.Sprintf("tensor: dw shape %v, want %v", dwAcc.Shape, weight.Shape))
+	}
+	if len(dbAcc.Shape) != 1 || dbAcc.Shape[0] != s.OutC {
+		panic(fmt.Sprintf("tensor: db shape %v, want [%d]", dbAcc.Shape, s.OutC))
+	}
+	if CurrentEngine() == EngineNaive {
+		conv2DNaiveBackwardInto(dx, dwAcc, dbAcc, x, weight, dy, s)
+		return
+	}
+	conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy, s)
+}
+
+// Conv2DBackwardNaive is the direct reference backward pass (fresh output
+// tensors, scatter loops) — the oracle for the GEMM gradients.
+func Conv2DBackwardNaive(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
+	dx = New(x.Shape...)
 	dw = New(s.OutC, s.InC, s.KH, s.KW)
 	db = New(s.OutC)
+	conv2DNaiveBackwardInto(dx, dw, db, x, weight, dy, s)
+	return dx, dw, db
+}
+
+func conv2DNaiveBackwardInto(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := s.OutDims(h, w)
+	dx.Zero()
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < s.OutC; oc++ {
 			for oy := 0; oy < oh; oy++ {
@@ -76,7 +145,7 @@ func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
 					if g == 0 {
 						continue
 					}
-					db.Data[oc] += g
+					dbAcc.Data[oc] += g
 					for ic := 0; ic < s.InC; ic++ {
 						for ky := 0; ky < s.KH; ky++ {
 							iy := oy*s.StrideH + ky - s.PadH
@@ -89,7 +158,7 @@ func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
 									continue
 								}
 								wi := ((oc*s.InC+ic)*s.KH+ky)*s.KW + kx
-								dw.Data[wi] += g * x.At4(ni, ic, iy, ix)
+								dwAcc.Data[wi] += g * x.At4(ni, ic, iy, ix)
 								dx.Data[dx.idx4(ni, ic, iy, ix)] += g * weight.Data[wi]
 							}
 						}
@@ -98,7 +167,6 @@ func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
 			}
 		}
 	}
-	return dx, dw, db
 }
 
 // Im2col rearranges convolution input patches into a matrix of shape
@@ -134,27 +202,11 @@ func Im2col(x *Tensor, s ConvSpec) *Tensor {
 	return out
 }
 
-// MatMul computes C = A[m,k] x B[k,n].
+// MatMul computes C = A[m,k] x B[k,n], allocating the result. The product
+// runs on the blocked parallel GEMM core; use MatMulInto to reuse storage.
 func MatMul(a, b *Tensor) *Tensor {
-	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
-		panic(fmt.Sprintf("tensor: matmul shapes %v x %v", a.Shape, b.Shape))
-	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		cr := c.Data[i*n : (i+1)*n]
-		for p, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Data[p*n : (p+1)*n]
-			for j, bv := range br {
-				cr[j] += av * bv
-			}
-		}
-	}
-	return c
+	m, _, n := matMulDims(a, b)
+	return MatMulInto(New(m, n), a, b)
 }
 
 // Conv2DIm2col computes the same convolution as Conv2D via im2col + GEMM,

@@ -1,0 +1,114 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine selects the compute-kernel implementation behind Conv2D,
+// Conv2DBackward and the dense GEMM helpers.
+//
+// EngineGEMM (the default) lowers every convolution to im2col plus a
+// cache-blocked, goroutine-parallel GEMM — the same formulation the paper's
+// accelerator executes (Tab. 1) — and draws its scratch buffers from a
+// pooled arena so steady-state training performs no large allocations.
+//
+// EngineNaive is the direct 7-loop reference oracle: slow, single-threaded,
+// allocating fresh tensors on every call, and kept precisely because it is
+// trivially auditable. Equivalence tests pin the GEMM engine against it.
+type Engine int32
+
+const (
+	// EngineGEMM routes convolutions through im2col + blocked parallel GEMM.
+	EngineGEMM Engine = iota
+	// EngineNaive routes convolutions through the direct reference loops.
+	EngineNaive
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineGEMM:
+		return "gemm"
+	case EngineNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Engine(%d)", int32(e))
+	}
+}
+
+// ParseEngine converts a flag value ("naive" or "gemm") into an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "gemm":
+		return EngineGEMM, nil
+	case "naive":
+		return EngineNaive, nil
+	default:
+		return EngineGEMM, fmt.Errorf("tensor: unknown engine %q (want naive or gemm)", s)
+	}
+}
+
+// curEngine and numThreads are process-wide kernel configuration. They are
+// atomics so tests and long-running servers can flip engines while worker
+// goroutines are in flight without a data race; a kernel reads its
+// configuration once at entry.
+var (
+	curEngine  atomic.Int32 // zero value == EngineGEMM
+	numThreads atomic.Int32 // 0 == GOMAXPROCS
+)
+
+// SetEngine installs e as the process-wide kernel engine and returns the
+// previous one (handy for defer-restore in tests and benchmarks).
+func SetEngine(e Engine) Engine { return Engine(curEngine.Swap(int32(e))) }
+
+// CurrentEngine returns the engine Conv2D and friends will dispatch to.
+func CurrentEngine() Engine { return Engine(curEngine.Load()) }
+
+// SetThreads bounds the number of goroutines a single kernel invocation may
+// fan out to. n <= 0 means "use GOMAXPROCS". Returns the previous setting.
+//
+// Results are bit-identical for every thread count: parallelism only
+// partitions independent output rows / samples, never a reduction.
+func SetThreads(n int) int { return int(numThreads.Swap(int32(n))) }
+
+// Threads returns the resolved kernel parallelism.
+func Threads() int {
+	if n := int(numThreads.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelFor splits [0,n) into at most Threads() contiguous chunks and runs
+// fn on each. With one thread (or one chunk) it runs inline, so the serial
+// path allocates nothing and single-core hosts pay no goroutine overhead.
+// Each worker receives a contiguous [lo,hi) range, letting callers hold one
+// scratch slab per worker.
+func parallelFor(n int, fn func(lo, hi int)) {
+	t := Threads()
+	if t > n {
+		t = n
+	}
+	if t <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + t - 1) / t
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

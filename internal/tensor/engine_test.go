@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomConvCase draws a randomized convolution: non-square inputs and
+// kernels, odd strides, asymmetric padding, 1x1 kernels, batch 1..4.
+func randomConvCase(rng *rand.Rand) (x, w, b *Tensor, s ConvSpec) {
+	kh := []int{1, 2, 3, 5}[rng.Intn(4)]
+	kw := []int{1, 2, 3, 5}[rng.Intn(4)]
+	s = ConvSpec{
+		InC:     rng.Intn(4) + 1,
+		OutC:    rng.Intn(5) + 1,
+		KH:      kh,
+		KW:      kw,
+		StrideH: rng.Intn(3) + 1, // 1, 2 or 3 — odd strides included
+		StrideW: rng.Intn(3) + 1,
+		PadH:    rng.Intn(3),
+		PadW:    rng.Intn(3),
+	}
+	n := rng.Intn(4) + 1
+	h := rng.Intn(8) + kh + 2 // keep outputs non-degenerate
+	wdt := rng.Intn(8) + kw + 2
+	x = New(n, s.InC, h, wdt)
+	x.Randn(rng, 1)
+	w = New(s.OutC, s.InC, s.KH, s.KW)
+	w.Randn(rng, 1)
+	b = New(s.OutC)
+	b.Randn(rng, 1)
+	return x, w, b, s
+}
+
+// TestGEMMForwardMatchesNaive pins the GEMM engine's forward pass against
+// the naive oracle across randomized geometries (run under -race in CI).
+func TestGEMMForwardMatchesNaive(t *testing.T) {
+	defer SetEngine(SetEngine(EngineGEMM))
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		x, w, b, s := randomConvCase(rng)
+		want := Conv2DNaive(x, w, b, s)
+		got := Conv2D(x, w, b, s)
+		if d := want.MaxAbsDiff(got); d > 1e-9 {
+			t.Errorf("trial %d (%+v, in %v): forward differs by %g", trial, s, x.Shape, d)
+		}
+		// nil bias path.
+		want = Conv2DNaive(x, w, nil, s)
+		got = Conv2D(x, w, nil, s)
+		if d := want.MaxAbsDiff(got); d > 1e-9 {
+			t.Errorf("trial %d: nil-bias forward differs by %g", trial, d)
+		}
+	}
+}
+
+// TestGEMMBackwardMatchesNaive pins all three GEMM gradients (dx, dw, db)
+// against the naive oracle across randomized geometries.
+func TestGEMMBackwardMatchesNaive(t *testing.T) {
+	defer SetEngine(SetEngine(EngineGEMM))
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		x, w, b, s := randomConvCase(rng)
+		y := Conv2DNaive(x, w, b, s)
+		dy := New(y.Shape...)
+		dy.Randn(rng, 1)
+		// Sparsify dy: ReLU-gated gradients are full of zeros, which
+		// exercises the kernels' zero-skip paths.
+		for i := range dy.Data {
+			if rng.Intn(3) == 0 {
+				dy.Data[i] = 0
+			}
+		}
+		wdx, wdw, wdb := Conv2DBackwardNaive(x, w, dy, s)
+		gdx, gdw, gdb := Conv2DBackward(x, w, dy, s)
+		if d := wdx.MaxAbsDiff(gdx); d > 1e-9 {
+			t.Errorf("trial %d (%+v): dx differs by %g", trial, s, d)
+		}
+		if d := wdw.MaxAbsDiff(gdw); d > 1e-9 {
+			t.Errorf("trial %d (%+v): dw differs by %g", trial, s, d)
+		}
+		if d := wdb.MaxAbsDiff(gdb); d > 1e-9 {
+			t.Errorf("trial %d (%+v): db differs by %g", trial, s, d)
+		}
+	}
+}
+
+// TestGEMMDeterministicAcrossThreadCounts: the engine's documented contract
+// is that thread count only partitions independent work, so results are
+// bit-identical for any -threads setting.
+func TestGEMMDeterministicAcrossThreadCounts(t *testing.T) {
+	defer SetEngine(SetEngine(EngineGEMM))
+	rng := rand.New(rand.NewSource(13))
+	x, w, b, s := randomConvCase(rng)
+	y := Conv2D(x, w, b, s)
+	dy := New(y.Shape...)
+	dy.Randn(rng, 1)
+
+	defer SetThreads(SetThreads(1))
+	refOut := Conv2D(x, w, b, s)
+	refDx, refDw, refDb := Conv2DBackward(x, w, dy, s)
+	for _, threads := range []int{2, 3, 8} {
+		SetThreads(threads)
+		out := Conv2D(x, w, b, s)
+		dx, dw, db := Conv2DBackward(x, w, dy, s)
+		for i := range refOut.Data {
+			if out.Data[i] != refOut.Data[i] {
+				t.Fatalf("threads=%d: forward not bit-identical at %d", threads, i)
+			}
+		}
+		for i := range refDx.Data {
+			if dx.Data[i] != refDx.Data[i] {
+				t.Fatalf("threads=%d: dx not bit-identical at %d", threads, i)
+			}
+		}
+		for i := range refDw.Data {
+			if dw.Data[i] != refDw.Data[i] {
+				t.Fatalf("threads=%d: dw not bit-identical at %d", threads, i)
+			}
+		}
+		for i := range refDb.Data {
+			if db.Data[i] != refDb.Data[i] {
+				t.Fatalf("threads=%d: db not bit-identical at %d", threads, i)
+			}
+		}
+	}
+}
+
+// TestConvBackwardIntoAccumulates: dw/db are += targets (gradient
+// accumulation lands directly in trainer buffers), dx is overwritten.
+func TestConvBackwardIntoAccumulates(t *testing.T) {
+	defer SetEngine(SetEngine(EngineGEMM))
+	rng := rand.New(rand.NewSource(14))
+	x, w, b, s := randomConvCase(rng)
+	y := Conv2DNaive(x, w, b, s)
+	dy := New(y.Shape...)
+	dy.Randn(rng, 1)
+
+	dx1, dw1, db1 := Conv2DBackward(x, w, dy, s)
+	dx := New(x.Shape...)
+	dx.Fill(99) // must be fully overwritten
+	dw := New(w.Shape...)
+	dw.Fill(1)
+	db := New(s.OutC)
+	db.Fill(2)
+	Conv2DBackwardInto(dx, dw, db, x, w, dy, s)
+	if d := dx.MaxAbsDiff(dx1); d > 1e-12 {
+		t.Errorf("dx not overwritten cleanly (diff %g)", d)
+	}
+	for i := range dw.Data {
+		if diff := dw.Data[i] - 1 - dw1.Data[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("dw[%d] did not accumulate: got %g want 1+%g", i, dw.Data[i], dw1.Data[i])
+			break
+		}
+	}
+	for i := range db.Data {
+		if diff := db.Data[i] - 2 - db1.Data[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("db[%d] did not accumulate: got %g want 2+%g", i, db.Data[i], db1.Data[i])
+		}
+	}
+}
+
+// TestMatMulVariants checks the transposed GEMM helpers against a direct
+// triple loop.
+func TestMatMulVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	m, k, n := 7, 13, 5
+	a := New(m, k)
+	a.Randn(rng, 1)
+	b := New(k, n)
+	b.Randn(rng, 1)
+	ref := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			ref.Data[i*n+j] = s
+		}
+	}
+
+	if d := MatMul(a, b).MaxAbsDiff(ref); d > 1e-12 {
+		t.Errorf("MatMul differs by %g", d)
+	}
+
+	// AddMatMulNT: a [m,k] x (bT [n,k])^T == a x b.
+	bT := New(n, k)
+	for p := 0; p < k; p++ {
+		for j := 0; j < n; j++ {
+			bT.Data[j*k+p] = b.Data[p*n+j]
+		}
+	}
+	got := New(m, n)
+	AddMatMulNT(got, a, bT)
+	if d := got.MaxAbsDiff(ref); d > 1e-12 {
+		t.Errorf("AddMatMulNT differs by %g", d)
+	}
+
+	// AddMatMulTN: (aT [k,m])^T x b == a x b, and it must accumulate.
+	aT := New(k, m)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			aT.Data[p*m+i] = a.Data[i*k+p]
+		}
+	}
+	got2 := New(m, n)
+	AddMatMulTN(got2, aT, b)
+	AddMatMulTN(got2, aT, b)
+	for i := range got2.Data {
+		if diff := got2.Data[i] - 2*ref.Data[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("AddMatMulTN did not accumulate at %d", i)
+			break
+		}
+	}
+}
+
+// TestMatMulBlockedLarge crosses the kc/nc blocking boundaries so the
+// panel loops are exercised, comparing against the unblocked reference.
+func TestMatMulBlockedLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	m, k, n := 3, kcBlock+37, ncBlock+41
+	a := New(m, k)
+	a.Randn(rng, 1)
+	b := New(k, n)
+	b.Randn(rng, 1)
+	got := MatMul(a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j += 101 {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.Data[i*k+p] * b.Data[p*n+j]
+			}
+			if d := got.Data[i*n+j] - s; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("blocked matmul wrong at (%d,%d): %g vs %g", i, j, got.Data[i*n+j], s)
+			}
+		}
+	}
+}
+
+// TestParseEngine covers the flag-value round trip.
+func TestParseEngine(t *testing.T) {
+	for _, e := range []Engine{EngineNaive, EngineGEMM} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("cuda"); err == nil {
+		t.Error("ParseEngine should reject unknown engines")
+	}
+}
+
+// TestKernelSteadyStateAllocs is the allocation regression test: with
+// preallocated outputs and a warm scratch arena, the GEMM kernels and
+// MatMulInto perform zero heap allocations per step (single-threaded, so
+// goroutine spawning doesn't enter the count).
+func TestKernelSteadyStateAllocs(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc counts only hold without -race")
+	}
+	defer SetEngine(SetEngine(EngineGEMM))
+	defer SetThreads(SetThreads(1))
+	rng := rand.New(rand.NewSource(17))
+
+	a := New(32, 64)
+	a.Randn(rng, 1)
+	b := New(64, 48)
+	b.Randn(rng, 1)
+	dst := New(32, 48)
+	if n := testing.AllocsPerRun(20, func() { MatMulInto(dst, a, b) }); n != 0 {
+		t.Errorf("MatMulInto allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { MatMul(a, b) }); n > 4 {
+		t.Errorf("MatMul allocates %v times per call, want <= 4 (result tensor only)", n)
+	}
+
+	s := ConvSpec{InC: 8, OutC: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	x := New(4, 8, 12, 12)
+	x.Randn(rng, 1)
+	w := New(16, 8, 3, 3)
+	w.Randn(rng, 1)
+	bias := New(16)
+	out := Conv2D(x, w, bias, s)
+	dy := New(out.Shape...)
+	dy.Randn(rng, 1)
+	dx, dw, db := New(x.Shape...), New(w.Shape...), New(16)
+	// Warm the scratch arena once, then demand zero steady-state allocs.
+	Conv2DInto(out, x, w, bias, s)
+	Conv2DBackwardInto(dx, dw, db, x, w, dy, s)
+	if n := testing.AllocsPerRun(20, func() { Conv2DInto(out, x, w, bias, s) }); n != 0 {
+		t.Errorf("Conv2DInto allocates %v times per call in steady state, want 0", n)
+	}
+	if n := testing.AllocsPerRun(20, func() { Conv2DBackwardInto(dx, dw, db, x, w, dy, s) }); n != 0 {
+		t.Errorf("Conv2DBackwardInto allocates %v times per call in steady state, want 0", n)
+	}
+}

@@ -1,0 +1,152 @@
+package tensor
+
+import "fmt"
+
+// Blocked GEMM kernels. All three variants accumulate (C += ...) over
+// row-major slices with explicit leading dimensions, and all of them sum
+// every output element in a fixed ascending order over the shared dimension
+// — so results are bit-identical no matter how callers partition the work
+// across goroutines.
+//
+// Blocking constants: one (kcBlock x ncBlock) panel of B is 1 MiB
+// (256*512*8 B), sized to stay L2-resident across the whole i loop while
+// rows of A and C stream past it.
+const (
+	kcBlock = 256 // rows of B (depth) per panel
+	ncBlock = 512 // columns of B per panel
+)
+
+// gemmAcc computes C[m,n] += A[m,k] * B[k,n].
+// lda/ldb/ldc are leading dimensions (row strides) of the raw slices.
+// The inner loop is an axpy over a contiguous row of B and C, which the
+// compiler keeps bounds-check free; zero elements of A (common for
+// ReLU-gated gradients) skip their whole row of work.
+func gemmAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for jj := 0; jj < n; jj += ncBlock {
+		jn := n - jj
+		if jn > ncBlock {
+			jn = ncBlock
+		}
+		for pp := 0; pp < k; pp += kcBlock {
+			pk := k - pp
+			if pk > kcBlock {
+				pk = kcBlock
+			}
+			for i := 0; i < m; i++ {
+				ci := c[i*ldc+jj : i*ldc+jj+jn]
+				ai := a[i*lda+pp : i*lda+pp+pk]
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					bp := b[(pp+p)*ldb+jj : (pp+p)*ldb+jj+jn]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmNTAcc computes C[m,n] += A[m,k] * B[n,k]^T.
+// Each output element is a dot product of two contiguous rows, summed in
+// ascending k order.
+func gemmNTAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*lda : i*lda+k]
+		ci := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			var s float64
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			ci[j] += s
+		}
+	}
+}
+
+// gemmTNAcc computes C[m,n] += A[k,m]^T * B[k,n] for the row range
+// [iLo,iHi) of C. The p loop is outermost (rows of A and B are contiguous);
+// restricting the i range lets callers partition C's rows across goroutines
+// while every element still accumulates p in ascending order.
+func gemmTNAcc(iLo, iHi, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for p := 0; p < k; p++ {
+		ap := a[p*lda : p*lda+iHi]
+		bp := b[p*ldb : p*ldb+n]
+		for i := iLo; i < iHi; i++ {
+			av := ap[i]
+			if av == 0 {
+				continue
+			}
+			ci := c[i*ldc : i*ldc+n]
+			for j, bv := range bp {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulDims validates a 2-D matrix product and returns (m, k, n).
+func matMulDims(a, b *Tensor) (int, int, int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shapes %v x %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], a.Shape[1], b.Shape[1]
+}
+
+// MatMulInto computes dst = a[m,k] x b[k,n] into a preallocated dst[m,n],
+// reusing dst's storage (zero heap allocations in steady state). Row panels
+// of dst are computed in parallel across Threads() goroutines.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := matMulDims(a, b)
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmul dst %v for %v x %v", dst.Shape, a.Shape, b.Shape))
+	}
+	if Threads() <= 1 || m == 1 {
+		zeroFloats(dst.Data)
+		gemmAcc(m, k, n, a.Data, k, b.Data, n, dst.Data, n)
+		return dst
+	}
+	parallelFor(m, func(lo, hi int) {
+		rows := dst.Data[lo*n : hi*n]
+		zeroFloats(rows)
+		gemmAcc(hi-lo, k, n, a.Data[lo*k:], k, b.Data, n, rows, n)
+	})
+	return dst
+}
+
+// AddMatMulNT accumulates dst[m,n] += a[m,k] x b[n,k]^T.
+func AddMatMulNT(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[0]
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || b.Shape[1] != k ||
+		len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulNT shapes %v x %v^T -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	if Threads() <= 1 || m == 1 {
+		gemmNTAcc(m, k, n, a.Data, k, b.Data, k, dst.Data, n)
+		return
+	}
+	parallelFor(m, func(lo, hi int) {
+		gemmNTAcc(hi-lo, k, n, a.Data[lo*k:], k, b.Data, k, dst.Data[lo*n:], n)
+	})
+}
+
+// AddMatMulTN accumulates dst[m,n] += a[k,m]^T x b[k,n].
+func AddMatMulTN(dst, a, b *Tensor) {
+	k, m := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || b.Shape[0] != k ||
+		len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: matmulTN shapes %v^T x %v -> %v", a.Shape, b.Shape, dst.Shape))
+	}
+	if Threads() <= 1 || m == 1 {
+		gemmTNAcc(0, m, k, n, a.Data, m, b.Data, n, dst.Data, n)
+		return
+	}
+	parallelFor(m, func(lo, hi int) {
+		gemmTNAcc(lo, hi, k, n, a.Data, m, b.Data, n, dst.Data, n)
+	})
+}

@@ -9,6 +9,15 @@ func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
 	ow := (w-k)/stride + 1
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Len())
+	MaxPool2DInto(out, arg, x, k, stride)
+	return out, arg
+}
+
+// MaxPool2DInto pools into preallocated out and arg buffers (buffer-reusing
+// training paths).
+func MaxPool2DInto(out *Tensor, arg []int, x *Tensor, k, stride int) {
+	n, c := x.Shape[0], x.Shape[1]
+	oh, ow := out.Shape[2], out.Shape[3]
 	oi := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -31,22 +40,34 @@ func MaxPool2D(x *Tensor, k, stride int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool2DBackward scatters dy through the argmax map.
 func MaxPool2DBackward(dy *Tensor, arg []int, inShape []int) *Tensor {
 	dx := New(inShape...)
+	MaxPool2DBackwardInto(dx, dy, arg)
+	return dx
+}
+
+// MaxPool2DBackwardInto scatters dy through the argmax map into a
+// preallocated dx (overwritten).
+func MaxPool2DBackwardInto(dx, dy *Tensor, arg []int) {
+	dx.Zero()
 	for i, g := range dy.Data {
 		dx.Data[arg[i]] += g
 	}
-	return dx
 }
 
 // GlobalAvgPool reduces [N,C,H,W] to [N,C].
 func GlobalAvgPool(x *Tensor) *Tensor {
+	out := New(x.Shape[0], x.Shape[1])
+	GlobalAvgPoolInto(out, x)
+	return out
+}
+
+// GlobalAvgPoolInto reduces into a preallocated [N,C] out tensor.
+func GlobalAvgPoolInto(out, x *Tensor) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := New(n, c)
 	inv := 1.0 / float64(h*w)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -59,13 +80,19 @@ func GlobalAvgPool(x *Tensor) *Tensor {
 			out.Data[ni*c+ci] = s * inv
 		}
 	}
-	return out
 }
 
 // GlobalAvgPoolBackward broadcasts dy [N,C] back to [N,C,H,W].
 func GlobalAvgPoolBackward(dy *Tensor, inShape []int) *Tensor {
 	dx := New(inShape...)
-	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	GlobalAvgPoolBackwardInto(dx, dy)
+	return dx
+}
+
+// GlobalAvgPoolBackwardInto broadcasts dy [N,C] into a preallocated dx
+// (fully overwritten).
+func GlobalAvgPoolBackwardInto(dx, dy *Tensor) {
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
 	inv := 1.0 / float64(h*w)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -77,5 +104,4 @@ func GlobalAvgPoolBackward(dy *Tensor, inShape []int) *Tensor {
 			}
 		}
 	}
-	return dx
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package tensor
+
+// RaceEnabled reports whether the race detector is compiled in; its
+// instrumentation adds heap allocations, so allocation-regression tests
+// skip themselves under -race.
+const RaceEnabled = true

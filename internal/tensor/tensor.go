@@ -3,6 +3,11 @@
 // float64 for numerically robust gradient checking; the paper's 16-bit
 // arithmetic is a property of the accelerator model, not of the algorithmic
 // equivalence this engine demonstrates.
+//
+// Compute kernels are pluggable (see Engine): the default EngineGEMM lowers
+// convolutions to im2col + cache-blocked goroutine-parallel GEMM with a
+// pooled scratch arena, while EngineNaive keeps the direct reference loops
+// as the correctness oracle.
 package tensor
 
 import (
