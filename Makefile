@@ -1,15 +1,26 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-json golden clean
+.PHONY: all build test race vet bench-smoke bench-json golden serve load-smoke clean
 
 # The trajectory snapshot written by bench-json; bump the index per PR so
 # history accumulates (BENCH_2.json was the first, from the kernel-engine PR).
 BENCH_JSON ?= BENCH_2.json
 
+# Build identity baked into every binary (reported by -version and the mbsd
+# /v1/stats endpoint).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -ldflags "-X repro/internal/buildinfo.Version=$(VERSION) -X repro/internal/buildinfo.Commit=$(COMMIT)"
+
+# mbsd serving knobs (see README "Serving").
+SERVE_ADDR   ?= 127.0.0.1:8080
+CACHE_MB     ?= 256
+MAX_INFLIGHT ?= 0
+
 all: build test
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 test: vet
 	$(GO) test ./...
@@ -38,5 +49,23 @@ bench-json:
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenOutputs -update
 
+# Run the scenario service in the foreground.
+serve:
+	$(GO) run $(LDFLAGS) ./cmd/mbsd -addr $(SERVE_ADDR) -cache-mb $(CACHE_MB) -max-inflight $(MAX_INFLIGHT)
+
+# Start a local mbsd, fire ~1000 concurrent requests at it, and assert zero
+# failures, >90% engine-cache hit rate, and the cache under its byte bound.
+load-smoke:
+	@mkdir -p bin
+	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
+	$(GO) build $(LDFLAGS) -o bin/mbsload ./cmd/mbsload
+	@./bin/mbsd -addr 127.0.0.1:18080 -cache-mb 64 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		bin/mbsload -url http://127.0.0.1:18080 -n 0 -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64
+
 clean:
 	$(GO) clean ./...
+	rm -rf bin

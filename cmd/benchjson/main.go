@@ -13,10 +13,13 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
+
+	"repro/internal/buildinfo"
 )
 
 // Result is one benchmark line.
@@ -42,6 +45,13 @@ var (
 )
 
 func main() {
+	version := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Print("benchjson"))
+		return
+	}
+
 	snap := Snapshot{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/models"
@@ -27,7 +28,13 @@ func main() {
 	batch := flag.Int("batch", 0, "per-core mini-batch size (default: the paper's per-network value)")
 	bufferMiB := flag.Int64("buffer", 10, "global buffer size in MiB")
 	grouping := flag.String("grouping", "greedy", "group formation: greedy, optimal, none")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Print("mbsched"))
+		return
+	}
 
 	switch *fig {
 	case 3:

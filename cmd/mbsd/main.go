@@ -1,0 +1,88 @@
+// Command mbsd serves the scenario registry over HTTP: the queryable,
+// long-lived form of the mbsim evaluation suite. One shared sweep engine
+// (bounded LRU plan/ledger cache, singleflight builds) backs every request,
+// so repeated and concurrent queries for the same figures are served from
+// warm artifacts.
+//
+// Usage:
+//
+//	mbsd                                # serve on :8080, 256 MiB cache bound
+//	mbsd -addr 127.0.0.1:9090 -cache-mb 64 -max-inflight 16
+//	mbsd -version
+//
+// API:
+//
+//	curl localhost:8080/v1/scenarios
+//	curl -X POST localhost:8080/v1/run -d '{"scenario":"fig10"}'
+//	curl localhost:8080/v1/stats
+//
+// JSON run responses are byte-identical to `mbsim -scenario <name> -json`.
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
+// (up to 15s) before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	parallel := flag.Int("parallel", 0, "sweep engine worker count (0 = all cores)")
+	cacheMB := flag.Int64("cache-mb", 256, "engine cache bound in MiB (0 = unbounded)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing runs (0 = 2x cores)")
+	version := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Print("mbsd"))
+		return
+	}
+
+	svc := service.New(service.Config{
+		Workers:       *parallel,
+		CacheMaxBytes: *cacheMB << 20,
+		MaxInFlight:   *maxInFlight,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mbsd %s listening on %s (workers=%d cache-mb=%d max-inflight=%d)",
+		buildinfo.Get(), *addr, svc.Engine().Workers(), *cacheMB, *maxInFlight)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mbsd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mbsd: shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("mbsd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mbsd: %v", err)
+	}
+	log.Printf("mbsd: stopped")
+}

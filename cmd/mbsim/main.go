@@ -1,41 +1,59 @@
-// Command mbsim runs the WaveCore simulator experiments: it regenerates the
-// paper's Fig. 10 (time/energy/traffic across configurations), Fig. 11
-// (buffer-size sensitivity), Fig. 12 (memory-type sensitivity), Fig. 13
-// (V100 comparison), Fig. 14 (systolic utilization) and Tab. 2 (area/power),
-// and runs custom sweep grids over any subset of the experiment axes.
+// Command mbsim runs the WaveCore simulator experiments through the
+// scenario registry: every paper figure and table, single-cell simulations
+// and custom sweep grids are named scenarios with typed params, discoverable
+// with -list and runnable by name with -scenario.
 //
 // Experiments execute on the concurrent sweep engine (-parallel selects the
 // worker count; the default uses every core). Output is deterministic: a
-// parallel run renders byte-identical tables to a sequential one. -json
-// emits the structured result rows instead of aligned tables.
+// parallel run renders byte-identical tables to a sequential one, and -json
+// emits exactly the bytes the mbsd service serves for the same scenario.
 //
 // Usage:
 //
-//	mbsim -fig 10|11|12|13|14 [-parallel N] [-json]
-//	mbsim -table 2
-//	mbsim -all [-parallel N] [-json]
+//	mbsim -list
+//	mbsim -scenario fig10 [-parallel N] [-json]
+//	mbsim -scenario sweep -param network=resnet152 -param axes=memory,buffer
+//	mbsim -fig 10|11|12|13|14            # shorthand for -scenario figN
+//	mbsim -table 2                       # shorthand for -scenario table2
+//	mbsim -all [-json]                   # shorthand for -scenario all
 //	mbsim -network resnet50 -config MBS2 -memory LPDDR4
 //	mbsim -network resnet152 -sweep memory,buffer [-json]
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
-	"repro/internal/memsys"
+	"repro/internal/report"
 	"repro/internal/sweep"
 )
 
+// paramFlags collects repeated -param key=value flags.
+type paramFlags map[string]string
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]string(p)) }
+
+func (p paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || k == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	p[k] = v
+	return nil
+}
+
 func main() {
-	fig := flag.Int("fig", 0, "regenerate a paper figure (10-14)")
-	table := flag.Int("table", 0, "regenerate a paper table (2)")
-	all := flag.Bool("all", false, "run every figure and table")
+	list := flag.Bool("list", false, "print the scenario registry and exit")
+	scenario := flag.String("scenario", "", "run a registered scenario by name (see -list)")
+	params := paramFlags{}
+	flag.Var(params, "param", "scenario parameter as key=value (repeatable)")
+	fig := flag.Int("fig", 0, "regenerate a paper figure (3-5, 10-14); shorthand for -scenario figN")
+	table := flag.Int("table", 0, "regenerate a paper table (2); shorthand for -scenario table2")
+	all := flag.Bool("all", false, "run every figure and table; shorthand for -scenario all")
 	network := flag.String("network", "", "simulate a single network instead")
 	config := flag.String("config", "MBS2", "configuration for -network/-sweep")
 	memory := flag.String("memory", "HBM2", "memory type for -network/-sweep (HBM2, HBM2x2, GDDR5, LPDDR4)")
@@ -44,179 +62,101 @@ func main() {
 	sweepAxes := flag.String("sweep", "", "comma-separated axes to sweep with -network (network, config, memory, batch, buffer)")
 	parallel := flag.Int("parallel", 0, "sweep worker count (0 = all cores)")
 	jsonOut := flag.Bool("json", false, "emit structured JSON instead of tables")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Print("mbsim"))
+		return
+	}
+	if *list {
+		printRegistry()
+		return
+	}
 
 	e := sweep.New(*parallel)
 	r := experiments.Runner{E: e}
 
+	// The legacy flags are shorthands: each resolves to a scenario name plus
+	// params, so every entry point runs through one registry path.
+	name := *scenario
+	cellParams := func() {
+		params["network"] = *network
+		params["config"] = *config
+		params["memory"] = *memory
+		params["batch"] = fmt.Sprint(*batch)
+		params["buffer"] = fmt.Sprint(*buffer)
+	}
 	switch {
+	case name != "":
 	case *all:
-		runAll(r, *jsonOut)
-	case *table == 2:
-		runTable2(r, *jsonOut)
+		name = "all"
+	case *table != 0:
+		name = fmt.Sprintf("table%d", *table)
 	case *fig != 0:
-		runFig(r, *fig, *jsonOut)
+		name = fmt.Sprintf("fig%d", *fig)
 	case *sweepAxes != "":
-		runSweep(e, *sweepAxes, *network, *config, *memory, *batch, *buffer, *jsonOut)
+		name = "sweep"
+		cellParams()
+		params["axes"] = *sweepAxes
 	case *network != "":
-		runSingle(e, *network, *config, *memory, *batch, *buffer, *jsonOut)
+		name = "single"
+		cellParams()
 	default:
 		flag.Usage()
+		os.Exit(2)
 	}
-}
 
-// figData regenerates one figure via its Suite entry, rendering to w (nil
-// under -json) and returning the structured series for JSON output.
-func figData(r experiments.Runner, fig int, w io.Writer) (any, error) {
-	name := fmt.Sprintf("fig%d", fig)
-	for _, s := range experiments.Suite {
-		if s.Name == name {
-			return s.Run(r, w)
-		}
+	s, ok := experiments.Lookup(name)
+	if !ok {
+		fatal(fmt.Errorf("mbsim: unknown scenario %q (run mbsim -list)", name))
 	}
-	return nil, fmt.Errorf("mbsim: unknown figure %d (have 10-14)", fig)
-}
-
-func runFig(r experiments.Runner, fig int, jsonOut bool) {
-	if jsonOut {
-		data, err := figData(r, fig, nil)
+	if *jsonOut {
+		data, err := s.Run(r, experiments.Params(params), nil)
 		if err != nil {
 			fatal(err)
 		}
-		emitJSON(map[string]any{fmt.Sprintf("fig%d", fig): data})
+		if err := report.WriteJSON(os.Stdout, s.JSONValue(data)); err != nil {
+			fatal(err)
+		}
 		return
 	}
-	if _, err := figData(r, fig, os.Stdout); err != nil {
+	if _, err := s.Run(r, experiments.Params(params), os.Stdout); err != nil {
 		fatal(err)
 	}
-	fmt.Println()
-}
-
-func runTable2(r experiments.Runner, jsonOut bool) {
-	if jsonOut {
-		emitJSON(map[string]any{"table2": r.Table2(nil)})
-		return
+	// CLI-only trailers, outside the scenario render so server text output
+	// stays a pure function of the params: -fig keeps its historical
+	// trailing blank line, -sweep its cache-reuse summary.
+	if *fig != 0 {
+		fmt.Println()
 	}
-	r.Table2(os.Stdout)
+	if name == "sweep" {
+		st := e.Cache().Stats()
+		fmt.Printf("cache: %d plans built, %d reused\n", st.PlanMisses, st.PlanHits)
+	}
 }
 
-func runAll(r experiments.Runner, jsonOut bool) {
-	if jsonOut {
-		out := make(map[string]any, len(experiments.Suite))
-		for _, s := range experiments.Suite {
-			data, err := s.Run(r, nil)
-			if err != nil {
-				fatal(err)
+// printRegistry renders the scenario registry so scenarios are discoverable
+// without reading source.
+func printRegistry() {
+	t := report.NewTable("Registered scenarios (run with -scenario NAME [-param k=v ...])",
+		"scenario", "params", "description")
+	for _, info := range experiments.Infos() {
+		specs := make([]string, len(info.Params))
+		for i, p := range info.Params {
+			if p.Default != "" {
+				specs[i] = fmt.Sprintf("%s=%s", p.Name, p.Default)
+			} else {
+				specs[i] = p.Name
 			}
-			out[s.Name] = data
 		}
-		emitJSON(out)
-		return
-	}
-	if err := r.All(os.Stdout); err != nil {
-		fatal(err)
-	}
-}
-
-func runSweep(e *sweep.Engine, axes, network, config, memory string, batch int, bufferMiB int64, jsonOut bool) {
-	// Fixed values from the flags populate every non-swept axis.
-	cfg, err := configByName(config)
-	if err != nil {
-		fatal(err)
-	}
-	mem, err := memsys.ByName(memory)
-	if err != nil {
-		fatal(err)
-	}
-	grid := sweep.Grid{
-		Networks: []string{network},
-		Configs:  []core.Config{cfg},
-		Memories: []memsys.DRAM{mem},
-		Batches:  []int{batch},
-		Buffers:  []int64{bufferMiB << 20},
-	}
-	// Each swept axis replaces its fixed value with the default sweep range.
-	for _, axis := range strings.Split(axes, ",") {
-		switch strings.TrimSpace(axis) {
-		case "network":
-			grid.Networks = experiments.DeepCNNs
-		case "config":
-			grid.Configs = core.Configs
-		case "memory":
-			grid.Memories = memsys.Memories
-		case "batch":
-			grid.Batches = []int{16, 32, 64}
-		case "buffer":
-			grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
-		default:
-			fatal(fmt.Errorf("mbsim: unknown sweep axis %q (have network, config, memory, batch, buffer)", axis))
+		paramCol := "-"
+		if len(specs) > 0 {
+			paramCol = strings.Join(specs, " ")
 		}
+		t.RowF(info.Name, paramCol, info.Description)
 	}
-	if len(grid.Networks) == 1 && grid.Networks[0] == "" {
-		fatal(fmt.Errorf("mbsim: -sweep needs -network or a network axis (e.g. -sweep network,%s)", axes))
-	}
-	cells := grid.Cells()
-	results, err := e.SimulateGrid(cells)
-	if err != nil {
-		fatal(err)
-	}
-	rows := sweep.Rows(cells, results)
-	if jsonOut {
-		emitJSON(map[string]any{"sweep": rows})
-		return
-	}
-	sweep.RenderRows(os.Stdout, fmt.Sprintf("Sweep over %s (%d cells)", axes, len(cells)), rows)
-	st := e.Cache().Stats()
-	fmt.Printf("cache: %d plans built, %d reused\n", st.PlanMisses, st.PlanHits)
-}
-
-func configByName(name string) (core.Config, error) {
-	for _, c := range core.Configs {
-		if strings.EqualFold(c.String(), name) {
-			return c, nil
-		}
-	}
-	return 0, fmt.Errorf("mbsim: unknown config %q", name)
-}
-
-func runSingle(e *sweep.Engine, network, config, memory string, batch int, bufferMiB int64, jsonOut bool) {
-	cfg, err := configByName(config)
-	if err != nil {
-		fatal(err)
-	}
-	mem, err := memsys.ByName(memory)
-	if err != nil {
-		fatal(err)
-	}
-	cell := sweep.Cell{
-		Network: network, Config: cfg, Memory: mem,
-		Batch: batch, BufferBytes: bufferMiB << 20,
-	}
-	r, err := e.Simulate(cell)
-	if err != nil {
-		fatal(err)
-	}
-	if jsonOut {
-		emitJSON(map[string]any{
-			"result":                  sweep.RowOf(cell, r),
-			"time_by_class_seconds":   r.TimeByClass,
-			"energy_breakdown_joules": r.Energy,
-		})
-		return
-	}
-	fmt.Println(r)
-	fmt.Println("breakdown:", r.BreakdownString())
-	fmt.Printf("energy: DRAM %.3f J, GB %.3f J, compute %.3f J, vector %.3f J, static %.3f J (DRAM share %.1f%%)\n",
-		r.Energy.DRAM, r.Energy.GB, r.Energy.Compute, r.Energy.Vector, r.Energy.Static,
-		100*r.Energy.DRAMFraction())
-}
-
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fatal(err)
-	}
+	t.Render(os.Stdout)
 }
 
 func fatal(err error) {

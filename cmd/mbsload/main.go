@@ -1,0 +1,130 @@
+// Command mbsload is the load-smoke client for mbsd: it fires N concurrent
+// POST /v1/run requests at a running server, asserts every response is a
+// 200, then reads /v1/stats and asserts the engine cache coalesced the work
+// (hit rate above a floor) and stayed under its configured byte bound.
+// `make load-smoke` wires it against a freshly started local mbsd.
+//
+// Usage:
+//
+//	mbsload -url http://127.0.0.1:8080 -n 1000 -c 64
+//	mbsload -scenarios fig3,fig4,table2 -min-hit-rate 0.9
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "mbsd base URL")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 64, "concurrent clients")
+	scenarios := flag.String("scenarios", "fig3,fig4,fig5,table2,single",
+		"comma-separated scenarios to rotate over")
+	minHitRate := flag.Float64("min-hit-rate", 0.9, "required engine cache hit rate")
+	version := flag.Bool("version", false, "print build identity and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Print("mbsload"))
+		return
+	}
+
+	names := strings.Split(*scenarios, ",")
+	client := &http.Client{Timeout: 120 * time.Second}
+
+	var failures atomic.Int64
+	var errMu sync.Mutex
+	var firstErr error
+	record := func(err error) {
+		failures.Add(1)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= *n {
+					return
+				}
+				name := names[i%len(names)]
+				body, _ := json.Marshal(map[string]any{"scenario": name})
+				resp, err := client.Post(*url+"/v1/run", "application/json", bytes.NewReader(body))
+				if err != nil {
+					record(fmt.Errorf("request %d (%s): %w", i, name, err))
+					continue
+				}
+				payload, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					record(fmt.Errorf("request %d (%s): HTTP %d: %s",
+						i, name, resp.StatusCode, bytes.TrimSpace(payload)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var stats struct {
+		Cache struct {
+			Hits      int64   `json:"hits"`
+			Misses    int64   `json:"misses"`
+			Evictions int64   `json:"evictions"`
+			HitRate   float64 `json:"hit_rate"`
+			Bytes     int64   `json:"bytes"`
+			MaxBytes  int64   `json:"max_bytes"`
+		} `json:"cache"`
+		Served int64 `json:"served"`
+	}
+	resp, err := client.Get(*url + "/v1/stats")
+	if err != nil {
+		fatal(fmt.Errorf("stats: %w", err))
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fatal(fmt.Errorf("stats: %w", err))
+	}
+
+	fmt.Printf("load-smoke: %d requests in %v (%.0f req/s), %d failures\n",
+		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), failures.Load())
+	fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.3f bytes=%d max=%d\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Evictions,
+		stats.Cache.HitRate, stats.Cache.Bytes, stats.Cache.MaxBytes)
+
+	if f := failures.Load(); f > 0 {
+		fatal(fmt.Errorf("%d/%d requests failed; first: %v", f, *n, firstErr))
+	}
+	if stats.Cache.HitRate < *minHitRate {
+		fatal(fmt.Errorf("cache hit rate %.3f below required %.2f", stats.Cache.HitRate, *minHitRate))
+	}
+	if stats.Cache.MaxBytes > 0 && stats.Cache.Bytes > stats.Cache.MaxBytes {
+		fatal(fmt.Errorf("cache bytes %d exceed configured bound %d", stats.Cache.Bytes, stats.Cache.MaxBytes))
+	}
+	fmt.Println("load-smoke: OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "load-smoke:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -39,7 +40,13 @@ func main() {
 	checkOnly := flag.Bool("check", false, "only run the gradient-equivalence check")
 	engine := flag.String("engine", "gemm", "compute engine: gemm (im2col + parallel blocked GEMM) or naive (reference loops)")
 	threads := flag.Int("threads", 0, "kernel goroutines (0 = GOMAXPROCS)")
+	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Print("mbstrain"))
+		return
+	}
 
 	eng, err := tensor.ParseEngine(*engine)
 	if err != nil {

@@ -1,0 +1,65 @@
+// Package buildinfo carries the build identity shared by every binary and
+// the mbsd service. Version and Commit are overridden at link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2 \
+//	                   -X repro/internal/buildinfo.Commit=abc1234" ./...
+//
+// When the ldflags are absent (plain `go build`, `go test`), Commit falls
+// back to the VCS revision Go stamps into the binary, so /v1/stats and
+// -version stay meaningful in dev builds.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+var (
+	// Version is the human-readable release tag (ldflags; "dev" otherwise).
+	Version = "dev"
+	// Commit is the VCS commit the binary was built from (ldflags or the
+	// toolchain's embedded vcs.revision).
+	Commit = ""
+)
+
+// Info is the structured build identity reported over JSON.
+type Info struct {
+	Version string `json:"version"`
+	Commit  string `json:"commit"`
+	Go      string `json:"go"`
+}
+
+// Get resolves the build identity, filling Commit from the embedded VCS
+// stamp when no ldflags value was linked in.
+func Get() Info {
+	commit := Commit
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					commit = s.Value
+					break
+				}
+			}
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	return Info{Version: Version, Commit: commit, Go: runtime.Version()}
+}
+
+// String renders the identity for -version output.
+func (i Info) String() string {
+	return fmt.Sprintf("%s (commit %s, %s)", i.Version, i.Commit, i.Go)
+}
+
+// Print writes "<binary> <version> (commit <c>, <go>)" — the shared
+// -version output of all binaries.
+func Print(binary string) string {
+	return fmt.Sprintf("%s %s", binary, Get())
+}

@@ -505,39 +505,7 @@ func (r Runner) Fig14(w io.Writer) []Fig14Cell {
 	return cells
 }
 
-// --- Suite ------------------------------------------------------------------
-
-// SuiteEntry is one section of the mbsim -all suite: a name (the JSON key)
-// and a runner that both renders to w (when non-nil) and returns the
-// structured series.
-type SuiteEntry struct {
-	Name string
-	Run  func(r Runner, w io.Writer) (any, error)
-}
-
-// Suite is the single definition of the full simulator evaluation suite —
-// Figs. 10-14 and Tab. 2 in paper order. All, mbsim -all and mbsim
-// -all -json iterate this list, so the rendered and structured outputs
-// cannot drift apart.
-var Suite = []SuiteEntry{
-	{"fig10", func(r Runner, w io.Writer) (any, error) { return r.Fig10(w) }},
-	{"fig11", func(r Runner, w io.Writer) (any, error) { return r.Fig11(w), nil }},
-	{"fig12", func(r Runner, w io.Writer) (any, error) { return r.Fig12(w), nil }},
-	{"fig13", func(r Runner, w io.Writer) (any, error) { return r.Fig13(w), nil }},
-	{"fig14", func(r Runner, w io.Writer) (any, error) { return r.Fig14(w), nil }},
-	{"table2", func(r Runner, w io.Writer) (any, error) { return r.Table2(w), nil }},
-}
-
-// All regenerates the full suite, sections separated by blank lines —
-// exactly as `mbsim -all` prints it.
-func (r Runner) All(w io.Writer) error {
-	for i, s := range Suite {
-		if i > 0 {
-			fmt.Fprintln(w)
-		}
-		if _, err := s.Run(r, w); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// The scenario registry in registry.go is the single definition of the
+// runnable evaluation suite: every figure and table above is registered as
+// a named Scenario with typed params, and mbsim, mbsd and the golden tests
+// all execute through it, so rendered and structured outputs cannot drift.

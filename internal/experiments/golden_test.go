@@ -14,23 +14,31 @@ import (
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
 
-// renderers maps each golden file to the figure it pins. Fig. 6 is excluded:
-// it is a training run, and while seeded, its cost does not belong in the
-// regression loop.
-var renderers = []struct {
+// renderers pins one golden file per registered scenario, rendered with
+// default params — the registry itself defines what is golden-tested, so a
+// new scenario without a golden file fails until one is recorded. Fig. 6 is
+// not a scenario: it is a training run, and while seeded, its cost does not
+// belong in the regression loop.
+type goldenCase struct {
 	name   string
 	render func(r Runner, w io.Writer) error
-}{
-	{"fig3", func(r Runner, w io.Writer) error { r.Fig3(w); return nil }},
-	{"fig4", func(r Runner, w io.Writer) error { r.Fig4(w); return nil }},
-	{"fig5", func(r Runner, w io.Writer) error { _, err := r.Fig5(w, "resnet50"); return err }},
-	{"fig10", func(r Runner, w io.Writer) error { _, err := r.Fig10(w); return err }},
-	{"fig11", func(r Runner, w io.Writer) error { r.Fig11(w); return nil }},
-	{"fig12", func(r Runner, w io.Writer) error { r.Fig12(w); return nil }},
-	{"fig13", func(r Runner, w io.Writer) error { r.Fig13(w); return nil }},
-	{"fig14", func(r Runner, w io.Writer) error { r.Fig14(w); return nil }},
-	{"table2", func(r Runner, w io.Writer) error { r.Table2(w); return nil }},
-	{"all", func(r Runner, w io.Writer) error { return r.All(w) }},
+}
+
+// goldenCases is built at call time, not package init: the registry itself
+// is populated in an init func, which runs after test-file var initializers.
+func goldenCases(t *testing.T) []goldenCase {
+	scenarios := Scenarios()
+	if len(scenarios) == 0 {
+		t.Fatal("scenario registry is empty")
+	}
+	out := make([]goldenCase, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, goldenCase{s.Name, func(r Runner, w io.Writer) error {
+			_, err := s.Run(r, nil, w)
+			return err
+		}})
+	}
+	return out
 }
 
 // TestGoldenOutputs pins every figure's rendered output byte-for-byte. The
@@ -40,7 +48,7 @@ var renderers = []struct {
 //	go test ./internal/experiments -run TestGoldenOutputs -update
 func TestGoldenOutputs(t *testing.T) {
 	r := Runner{E: sweep.New(0)}
-	for _, g := range renderers {
+	for _, g := range goldenCases(t) {
 		t.Run(g.name, func(t *testing.T) {
 			var buf bytes.Buffer
 			if err := g.render(r, &buf); err != nil {
@@ -88,7 +96,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	render := func(workers int) []byte {
 		var buf bytes.Buffer
 		r := Runner{E: sweep.New(workers)}
-		for _, g := range renderers {
+		for _, g := range goldenCases(t) {
 			fmt.Fprintf(&buf, "== %s ==\n", g.name)
 			if err := g.render(r, &buf); err != nil {
 				t.Fatal(err)

@@ -1,0 +1,484 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/models"
+	"repro/internal/sweep"
+)
+
+// ParamSpec describes one typed scenario parameter. Enum, when non-empty,
+// lists the accepted values (matched case-insensitively by the run
+// functions); Type is "string", "int" or "list" (comma-separated values).
+type ParamSpec struct {
+	Name        string   `json:"name"`
+	Type        string   `json:"type"`
+	Default     string   `json:"default"`
+	Description string   `json:"description"`
+	Enum        []string `json:"enum,omitempty"`
+}
+
+// Params carries scenario arguments as name -> value strings; Scenario.Run
+// validates names and types against the scenario's specs and fills defaults.
+type Params map[string]string
+
+// Int parses the named parameter as an integer.
+func (p Params) Int(name string) (int, error) {
+	v, err := strconv.Atoi(p[name])
+	if err != nil {
+		return 0, fmt.Errorf("param %s: %q is not an integer", name, p[name])
+	}
+	return v, nil
+}
+
+// List splits the named comma-separated parameter, dropping empty entries.
+func (p Params) List(name string) []string {
+	var out []string
+	for _, v := range strings.Split(p[name], ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Scenario is one named, parameterized experiment: every figure, table and
+// custom sweep of the evaluation is a registry entry producing structured
+// rows. Run renders the paper-style text to w when w is non-nil and always
+// returns the structured series; JSONValue wraps that series into the exact
+// value `mbsim -json` marshals, which the mbsd service reuses so HTTP
+// responses are byte-identical to the CLI.
+type Scenario struct {
+	Name        string
+	Description string
+	Params      []ParamSpec
+
+	// bareJSON scenarios marshal their data unwrapped ("all" is already a
+	// section map; "single" keeps its historical three-key shape).
+	bareJSON bool
+	run      func(r Runner, p Params, w io.Writer) (any, error)
+}
+
+// Run validates p against the scenario's parameter specs, fills defaults,
+// and executes the scenario on r, rendering text to w when non-nil.
+func (s *Scenario) Run(r Runner, p Params, w io.Writer) (any, error) {
+	resolved, err := s.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(r, resolved, w)
+}
+
+// JSONValue returns the value to marshal for -json / HTTP responses.
+func (s *Scenario) JSONValue(data any) any {
+	if s.bareJSON {
+		return data
+	}
+	return map[string]any{s.Name: data}
+}
+
+// Info is the serializable registry entry served by /v1/scenarios and
+// printed by `mbsim -list`.
+type Info struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Params      []ParamSpec `json:"params,omitempty"`
+}
+
+// Info returns the scenario's serializable description.
+func (s *Scenario) Info() Info {
+	return Info{Name: s.Name, Description: s.Description, Params: s.Params}
+}
+
+// resolve applies defaults and rejects unknown names, non-integer values
+// for int-typed params, and values outside a spec's enum — untrusted HTTP
+// input is fully validated here, before any run function executes.
+func (s *Scenario) resolve(p Params) (Params, error) {
+	out := make(Params, len(s.Params))
+	for _, spec := range s.Params {
+		out[spec.Name] = spec.Default
+	}
+	for k, v := range p {
+		spec := s.spec(k)
+		if spec == nil {
+			return nil, fmt.Errorf("scenario %s: unknown param %q (have: %s)",
+				s.Name, k, strings.Join(s.paramNames(), ", "))
+		}
+		if v == "" {
+			continue // empty means "use the default" (e.g. -sweep network with no -network)
+		}
+		if spec.Type == "int" {
+			if _, err := strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("scenario %s: param %s: %q is not an integer", s.Name, k, v)
+			}
+		}
+		if len(spec.Enum) > 0 {
+			values := []string{v}
+			if spec.Type == "list" {
+				values = Params{spec.Name: v}.List(spec.Name)
+			}
+			for _, val := range values {
+				if !inEnum(spec.Enum, val) {
+					return nil, fmt.Errorf("scenario %s: param %s: unknown value %q (have %s)",
+						s.Name, k, val, strings.Join(spec.Enum, ", "))
+				}
+			}
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// inEnum matches case-insensitively, as the run functions do.
+func inEnum(enum []string, v string) bool {
+	for _, e := range enum {
+		if strings.EqualFold(e, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scenario) spec(name string) *ParamSpec {
+	for i := range s.Params {
+		if s.Params[i].Name == name {
+			return &s.Params[i]
+		}
+	}
+	return nil
+}
+
+func (s *Scenario) paramNames() []string {
+	names := make([]string, len(s.Params))
+	for i, spec := range s.Params {
+		names[i] = spec.Name
+	}
+	return names
+}
+
+// configNames lists the execution configurations for enum specs.
+func configNames() []string {
+	names := make([]string, len(core.Configs))
+	for i, c := range core.Configs {
+		names[i] = c.String()
+	}
+	return names
+}
+
+// memoryNames lists the DRAM technologies for enum specs.
+func memoryNames() []string {
+	names := make([]string, len(memsys.Memories))
+	for i, m := range memsys.Memories {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// ConfigByName resolves an execution configuration case-insensitively.
+func ConfigByName(name string) (core.Config, error) {
+	for _, c := range core.Configs {
+		if strings.EqualFold(c.String(), name) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown config %q (have %s)", name, strings.Join(configNames(), ", "))
+}
+
+// cellParams are the fixed-value specs shared by the single and sweep
+// scenarios; they mirror the mbsim flags they replaced.
+func cellParams(defaultNetwork string) []ParamSpec {
+	return []ParamSpec{
+		{Name: "network", Type: "string", Default: defaultNetwork,
+			Description: "network to simulate", Enum: models.Names()},
+		{Name: "config", Type: "string", Default: "MBS2",
+			Description: "execution configuration", Enum: configNames()},
+		{Name: "memory", Type: "string", Default: "HBM2",
+			Description: "DRAM technology", Enum: memoryNames()},
+		{Name: "batch", Type: "int", Default: "0",
+			Description: "per-core mini-batch (0 = network default)"},
+		{Name: "buffer", Type: "int", Default: "0",
+			Description: "global buffer MiB (0 = 10 MiB default)"},
+	}
+}
+
+// cellFromParams builds the sweep cell a single/sweep scenario's fixed
+// params describe.
+func cellFromParams(p Params) (sweep.Cell, error) {
+	cfg, err := ConfigByName(p["config"])
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	mem, err := memsys.ByName(p["memory"])
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	batch, err := p.Int("batch")
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	bufMiB, err := p.Int("buffer")
+	if err != nil {
+		return sweep.Cell{}, err
+	}
+	return sweep.Cell{
+		Network: p["network"], Config: cfg, Memory: mem,
+		Batch: batch, BufferBytes: int64(bufMiB) << 20,
+	}, nil
+}
+
+// suiteNames is the `mbsim -all` section order (paper order); the golden
+// "all" output and the bare JSON section map are both derived from it.
+var suiteNames = []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table2"}
+
+// registry is the ordered scenario list. Order is presentation order for
+// -list and /v1/scenarios. It is populated in init (the "all" scenario's
+// closure calls Lookup, which a composite-literal initializer would report
+// as an initialization cycle).
+var registry []*Scenario
+
+func init() {
+	registry = []*Scenario{
+		{
+			Name:        "fig3",
+			Description: "ResNet-50 per-layer footprint profile (Fig. 3)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig3(w), nil
+			},
+		},
+		{
+			Name:        "fig4",
+			Description: "ResNet-50 per-block data, minimal iterations, MBS grouping (Fig. 4)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig4(w), nil
+			},
+		},
+		{
+			Name:        "fig5",
+			Description: "concrete MBS1/MBS2 schedules for one network (Fig. 5)",
+			Params: []ParamSpec{{Name: "network", Type: "string", Default: "resnet50",
+				Description: "network to schedule", Enum: models.Names()}},
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				scheds, err := r.Fig5(w, p["network"])
+				if err != nil {
+					return nil, err
+				}
+				// Schedules render as strings for JSON: the struct graph is
+				// cyclic (Schedule -> Network) and the text form is the figure.
+				out := make([]string, len(scheds))
+				for i, s := range scheds {
+					out[i] = s.String()
+				}
+				return out, nil
+			},
+		},
+		{
+			Name:        "fig10",
+			Description: "per-step time, energy and DRAM traffic across configurations (Fig. 10)",
+			Params: []ParamSpec{{Name: "networks", Type: "list", Default: "",
+				Description: "comma-separated networks (empty = all six)"}},
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig10(w, p.List("networks")...)
+			},
+		},
+		{
+			Name:        "fig11",
+			Description: "ResNet-50 sensitivity to global buffer size (Fig. 11)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig11(w), nil
+			},
+		},
+		{
+			Name:        "fig12",
+			Description: "ResNet-50 memory-type sensitivity and time breakdown (Fig. 12)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig12(w), nil
+			},
+		},
+		{
+			Name:        "fig13",
+			Description: "NVIDIA V100 vs WaveCore+MBS2 per-step training time (Fig. 13)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig13(w), nil
+			},
+		},
+		{
+			Name:        "fig14",
+			Description: "systolic array utilization with unlimited DRAM bandwidth (Fig. 14)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig14(w), nil
+			},
+		},
+		{
+			Name:        "table2",
+			Description: "accelerator specification comparison (Tab. 2)",
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				return r.Table2(w), nil
+			},
+		},
+		{
+			Name:        "all",
+			Description: "the full simulator suite: Figs. 10-14 and Tab. 2 in paper order",
+			bareJSON:    true,
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				out := make(map[string]any, len(suiteNames))
+				for i, name := range suiteNames {
+					s, _ := Lookup(name)
+					if w != nil && i > 0 {
+						fmt.Fprintln(w)
+					}
+					data, err := s.Run(r, nil, w)
+					if err != nil {
+						return nil, err
+					}
+					out[name] = data
+				}
+				return out, nil
+			},
+		},
+		{
+			Name:        "single",
+			Description: "simulate one (network, config, memory, batch, buffer) cell",
+			Params:      cellParams("resnet50"),
+			bareJSON:    true,
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				cell, err := cellFromParams(p)
+				if err != nil {
+					return nil, err
+				}
+				res, err := r.E.Simulate(cell)
+				if err != nil {
+					return nil, err
+				}
+				if w != nil {
+					fmt.Fprintln(w, res)
+					fmt.Fprintln(w, "breakdown:", res.BreakdownString())
+					fmt.Fprintf(w, "energy: DRAM %.3f J, GB %.3f J, compute %.3f J, vector %.3f J, static %.3f J (DRAM share %.1f%%)\n",
+						res.Energy.DRAM, res.Energy.GB, res.Energy.Compute, res.Energy.Vector, res.Energy.Static,
+						100*res.Energy.DRAMFraction())
+				}
+				return map[string]any{
+					"result":                  sweep.RowOf(cell, res),
+					"time_by_class_seconds":   res.TimeByClass,
+					"energy_breakdown_joules": res.Energy,
+				}, nil
+			},
+		},
+		{
+			Name:        "sweep",
+			Description: "custom grid over any subset of the experiment axes",
+			Params: append([]ParamSpec{{Name: "axes", Type: "list", Default: "buffer",
+				Description: "axes to sweep", Enum: []string{"network", "config", "memory", "batch", "buffer"}}},
+				cellParams("resnet50")...),
+			run: func(r Runner, p Params, w io.Writer) (any, error) {
+				cell, err := cellFromParams(p)
+				if err != nil {
+					return nil, err
+				}
+				grid := sweep.Grid{
+					Networks: []string{cell.Network},
+					Configs:  []core.Config{cell.Config},
+					Memories: []memsys.DRAM{cell.Memory},
+					Batches:  []int{cell.Batch},
+					Buffers:  []int64{cell.BufferBytes},
+				}
+				// Each swept axis replaces its fixed value with the default range.
+				axes := p.List("axes")
+				for _, axis := range axes {
+					switch axis {
+					case "network":
+						grid.Networks = DeepCNNs
+					case "config":
+						grid.Configs = core.Configs
+					case "memory":
+						grid.Memories = memsys.Memories
+					case "batch":
+						grid.Batches = []int{16, 32, 64}
+					case "buffer":
+						grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
+					default:
+						return nil, fmt.Errorf("unknown sweep axis %q (have network, config, memory, batch, buffer)", axis)
+					}
+				}
+				if len(axes) == 0 {
+					return nil, fmt.Errorf("sweep needs at least one axis")
+				}
+				if len(grid.Networks) == 1 && grid.Networks[0] == "" {
+					return nil, fmt.Errorf("sweep needs a network param or the network axis")
+				}
+				cells := grid.Cells()
+				results, err := r.E.SimulateGrid(cells)
+				if err != nil {
+					return nil, err
+				}
+				rows := sweep.Rows(cells, results)
+				if w != nil {
+					sweep.RenderRows(w, fmt.Sprintf("Sweep over %s (%d cells)",
+						strings.Join(axes, ","), len(cells)), rows)
+				}
+				return rows, nil
+			},
+		},
+	}
+}
+
+// Scenarios returns the registry in presentation order.
+func Scenarios() []*Scenario { return registry }
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (*Scenario, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the registered scenario names in order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Infos returns the serializable registry listing (sorted copy not needed —
+// registry order is already deterministic).
+func Infos() []Info {
+	infos := make([]Info, len(registry))
+	for i, s := range registry {
+		infos[i] = s.Info()
+	}
+	return infos
+}
+
+// All regenerates the full suite, sections separated by blank lines —
+// exactly as `mbsim -all` prints it.
+func (r Runner) All(w io.Writer) error {
+	s, _ := Lookup("all")
+	_, err := s.Run(r, nil, w)
+	return err
+}
+
+func init() {
+	// The registry is append-only data; a duplicate name is a programming
+	// error caught at package load, not at request time.
+	seen := make(map[string]bool, len(registry))
+	for _, s := range registry {
+		if seen[s.Name] {
+			panic("experiments: duplicate scenario " + s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, name := range suiteNames {
+		if !seen[name] {
+			panic("experiments: suite scenario not registered: " + name)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "table2", "all", "single", "sweep"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+		s, ok := Lookup(want[i])
+		if !ok || s.Name != want[i] {
+			t.Errorf("Lookup(%q) failed", want[i])
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("Lookup of unregistered scenario succeeded")
+	}
+}
+
+func TestScenarioRejectsUnknownParam(t *testing.T) {
+	s, _ := Lookup("fig5")
+	r := Runner{E: sweep.New(1)}
+	if _, err := s.Run(r, Params{"nonsense": "x"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown param") {
+		t.Errorf("err = %v, want unknown-param error", err)
+	}
+}
+
+func TestScenarioRejectsBadInt(t *testing.T) {
+	s, _ := Lookup("single")
+	r := Runner{E: sweep.New(1)}
+	if _, err := s.Run(r, Params{"batch": "many"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "not an integer") {
+		t.Errorf("err = %v, want integer error", err)
+	}
+}
+
+func TestScenarioRejectsEnumViolation(t *testing.T) {
+	r := Runner{E: sweep.New(1)}
+	single, _ := Lookup("single")
+	if _, err := single.Run(r, Params{"network": "vgg16"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown value") {
+		t.Errorf("err = %v, want enum error", err)
+	}
+	// Enum matching is case-insensitive, like the run functions' parsing.
+	if _, err := single.Run(r, Params{"config": "mbs2"}, io.Discard); err != nil {
+		t.Errorf("lowercase config rejected: %v", err)
+	}
+	// An empty value means "use the default" (the legacy -sweep flags pass
+	// empty fixed values for unset flags).
+	sw, _ := Lookup("sweep")
+	if _, err := sw.Run(r, Params{"network": "", "axes": "config"}, io.Discard); err != nil {
+		t.Errorf("empty network with default: %v", err)
+	}
+}
+
+func TestScenarioDefaultsApplied(t *testing.T) {
+	// fig5 with no params must equal fig5 with network=resnet50 explicitly.
+	s, _ := Lookup("fig5")
+	r := Runner{E: sweep.New(1)}
+	var a, b bytes.Buffer
+	if _, err := s.Run(r, nil, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(r, Params{"network": "resnet50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("default params render differently from explicit defaults")
+	}
+}
+
+func TestScenarioParamsChangeOutput(t *testing.T) {
+	s, _ := Lookup("fig10")
+	r := Runner{E: sweep.New(0)}
+	data, err := s.Run(r, Params{"networks": "alexnet"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, ok := data.([]Fig10Cell)
+	if !ok {
+		t.Fatalf("data type %T", data)
+	}
+	for _, c := range cells {
+		if c.Network != "alexnet" {
+			t.Fatalf("networks param ignored: got cell for %s", c.Network)
+		}
+	}
+}
+
+func TestJSONValueWrapping(t *testing.T) {
+	fig, _ := Lookup("fig11")
+	v := fig.JSONValue("data")
+	m, ok := v.(map[string]any)
+	if !ok || m["fig11"] != "data" {
+		t.Errorf("fig11 JSONValue = %#v, want wrapped map", v)
+	}
+	all, _ := Lookup("all")
+	if got := all.JSONValue("data"); got != "data" {
+		t.Errorf("all JSONValue = %#v, want bare data", got)
+	}
+	single, _ := Lookup("single")
+	if got := single.JSONValue("data"); got != "data" {
+		t.Errorf("single JSONValue = %#v, want bare data", got)
+	}
+}
+
+func TestInfosSerializable(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(Names()) {
+		t.Fatalf("Infos() len = %d", len(infos))
+	}
+	raw, err := json.Marshal(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		if !bytes.Contains(raw, []byte(`"`+name+`"`)) {
+			t.Errorf("marshalled registry missing %s", name)
+		}
+	}
+	// The sweep scenario documents its axes enum for discoverability.
+	s, _ := Lookup("sweep")
+	axes := s.Info().Params[0]
+	if axes.Name != "axes" || len(axes.Enum) != 5 {
+		t.Errorf("sweep axes spec = %+v", axes)
+	}
+}
+
+func TestSweepScenarioRejectsBadAxis(t *testing.T) {
+	// The axes enum rejects unknown axes at resolve time, before execution.
+	s, _ := Lookup("sweep")
+	r := Runner{E: sweep.New(1)}
+	if _, err := s.Run(r, Params{"axes": "frequency"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "unknown value") {
+		t.Errorf("err = %v, want enum rejection", err)
+	}
+}
+
+func TestAllMatchesSuiteSections(t *testing.T) {
+	r := Runner{E: sweep.New(0)}
+	s, _ := Lookup("all")
+	data, err := s.Run(r, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, ok := data.(map[string]any)
+	if !ok {
+		t.Fatalf("all data type %T", data)
+	}
+	for _, name := range []string{"fig10", "fig11", "fig12", "fig13", "fig14", "table2"} {
+		if _, ok := sections[name]; !ok {
+			t.Errorf("all output missing section %s", name)
+		}
+	}
+	if len(sections) != 6 {
+		t.Errorf("all has %d sections, want 6", len(sections))
+	}
+}

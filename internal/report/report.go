@@ -1,12 +1,24 @@
-// Package report renders aligned text tables and CSV series so every
-// experiment binary prints rows that mirror the paper's tables and figures.
+// Package report renders the shared output formats — aligned text tables,
+// CSV series and indented JSON — so every experiment binary and the mbsd
+// service print byte-identical rows for the same structured data.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// WriteJSON writes v as two-space-indented JSON followed by a newline. It is
+// the single JSON renderer shared by `mbsim -json` and the mbsd HTTP API:
+// because both call this function on the same structured value, a server
+// response is byte-identical to the CLI's output by construction.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
 
 // Table accumulates rows of string cells and renders them aligned.
 type Table struct {

@@ -41,6 +41,19 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, map[string]any{"k": []int{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Two-space indent, trailing newline: the exact bytes mbsim -json and
+	// the mbsd service both emit.
+	want := "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n"
+	if b.String() != want {
+		t.Errorf("json = %q, want %q", b.String(), want)
+	}
+}
+
 func TestSeries(t *testing.T) {
 	s1 := &Series{Name: "a"}
 	s1.Add(1, 10)

@@ -1,0 +1,230 @@
+// Package service exposes the scenario registry over an HTTP JSON API — the
+// long-lived form of the evaluation stack. One shared sweep engine serves
+// every request, so plans, ledgers and networks warm once and are reused
+// across clients; the engine cache runs bounded (LRU) so the process holds
+// steady-state memory under sustained traffic.
+//
+// Routes:
+//
+//	GET  /v1/scenarios  the scenario registry (names, params, descriptions)
+//	POST /v1/run        execute a scenario; JSON responses are byte-identical
+//	                    to `mbsim -scenario <name> -json`
+//	GET  /v1/stats      build identity, cache and serving counters
+//	GET  /debug/pprof/  the standard Go profiling endpoints
+//
+// Execution concurrency is bounded: at most MaxInFlight scenario runs
+// execute at once, excess requests queue until a slot frees or the client
+// gives up. Responses are rendered to a buffer before the first byte is
+// written, so an error never produces a half-written 200.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/buildinfo"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the sweep engine's worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// CacheMaxBytes bounds the engine cache (0 = unbounded).
+	CacheMaxBytes int64
+	// MaxInFlight caps concurrently executing scenario runs
+	// (0 = 2*GOMAXPROCS).
+	MaxInFlight int
+}
+
+// Server executes registry scenarios on one shared engine.
+type Server struct {
+	engine      *sweep.Engine
+	runner      experiments.Runner
+	sem         chan struct{}
+	maxInFlight int
+	inFlight    atomic.Int64
+	served      atomic.Int64
+	failed      atomic.Int64
+}
+
+// New builds a server (and its engine) from cfg.
+func New(cfg Config) *Server {
+	e := sweep.New(cfg.Workers)
+	if cfg.CacheMaxBytes > 0 {
+		e.Cache().SetMaxBytes(cfg.CacheMaxBytes)
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		engine:      e,
+		runner:      experiments.Runner{E: e},
+		sem:         make(chan struct{}, maxInFlight),
+		maxInFlight: maxInFlight,
+	}
+}
+
+// Engine returns the shared sweep engine (the tests inspect its cache).
+func (s *Server) Engine() *sweep.Engine { return s.engine }
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	Scenario string            `json:"scenario"`
+	Params   map[string]string `json:"params,omitempty"`
+	// Format selects the response rendering: "json" (default; the
+	// mbsim -json bytes) or "text" (the paper-style tables).
+	Format string `json:"format,omitempty"`
+}
+
+// StatsResponse is the GET /v1/stats body.
+type StatsResponse struct {
+	Build       buildinfo.Info `json:"build"`
+	Workers     int            `json:"workers"`
+	MaxInFlight int            `json:"max_in_flight"`
+	InFlight    int64          `json:"in_flight"`
+	Served      int64          `json:"served"`
+	Failed      int64          `json:"failed"`
+	Cache       CacheStats     `json:"cache"`
+}
+
+// CacheStats is the JSON form of sweep.Stats.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+
+	Tables map[string]TableStats `json:"tables"`
+}
+
+// TableStats is one memo table's counters.
+type TableStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the serving and cache counters.
+func (s *Server) Stats() StatsResponse {
+	st := s.engine.Cache().Stats()
+	return StatsResponse{
+		Build:       buildinfo.Get(),
+		Workers:     s.engine.Workers(),
+		MaxInFlight: s.maxInFlight,
+		InFlight:    s.inFlight.Load(),
+		Served:      s.served.Load(),
+		Failed:      s.failed.Load(),
+		Cache: CacheStats{
+			Hits: st.Hits(), Misses: st.Misses(), Evictions: st.Evictions(),
+			HitRate: st.HitRate(), Bytes: st.Bytes, MaxBytes: st.MaxBytes,
+			Tables: map[string]TableStats{
+				"network": {st.NetworkHits, st.NetworkMisses, st.NetworkEvictions},
+				"plan":    {st.PlanHits, st.PlanMisses, st.PlanEvictions},
+				"traffic": {st.TrafficHits, st.TrafficMisses, st.TrafficEvictions},
+			},
+		},
+	}
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.Infos())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sc, ok := experiments.Lookup(req.Scenario)
+	if !ok {
+		s.fail(w, http.StatusNotFound,
+			fmt.Errorf("unknown scenario %q (GET /v1/scenarios lists the registry)", req.Scenario))
+		return
+	}
+	if req.Format != "" && req.Format != "json" && req.Format != "text" {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have json, text)", req.Format))
+		return
+	}
+
+	// Bounded in-flight execution: queue for a slot, bail if the client
+	// disconnects while waiting.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("cancelled while queued"))
+		return
+	}
+	s.inFlight.Add(1)
+	defer func() {
+		s.inFlight.Add(-1)
+		<-s.sem
+	}()
+
+	var body bytes.Buffer
+	if req.Format == "text" {
+		if _, err := sc.Run(s.runner, req.Params, &body); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		data, err := sc.Run(s.runner, req.Params, nil)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		// The same renderer mbsim -json uses: responses are byte-identical
+		// to the CLI by construction.
+		if err := report.WriteJSON(&body, sc.JSONValue(data)); err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+	}
+	s.served.Add(1)
+	w.WriteHeader(http.StatusOK)
+	_, _ = body.WriteTo(w)
+}
+
+// fail records and writes a JSON error response.
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.failed.Add(1)
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = report.WriteJSON(w, v)
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/sweep"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestHTTPMatchesCLI is the parity guarantee: for every registered scenario,
+// the server's JSON response bytes equal what `mbsim -scenario <name> -json`
+// prints — computed here on an independent engine, so the test also certifies
+// that a long-lived server's warm caches cannot change its output.
+func TestHTTPMatchesCLI(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cli := experiments.Runner{E: sweep.New(0)}
+	for _, s := range experiments.Scenarios() {
+		t.Run(s.Name, func(t *testing.T) {
+			data, err := s.Run(cli, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want bytes.Buffer
+			if err := report.WriteJSON(&want, s.JSONValue(data)); err != nil {
+				t.Fatal(err)
+			}
+			resp, got := postRun(t, ts, fmt.Sprintf(`{"scenario":%q}`, s.Name))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("HTTP %d: %s", resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want.Bytes()) {
+				t.Errorf("server response differs from CLI output\ngot:  %.200s\nwant: %.200s",
+					got, want.Bytes())
+			}
+		})
+	}
+}
+
+// TestTextFormatMatchesRenderer checks the text rendering path.
+func TestTextFormatMatchesRenderer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	s, _ := experiments.Lookup("table2")
+	var want bytes.Buffer
+	if _, err := s.Run(experiments.Runner{E: sweep.New(1)}, nil, &want); err != nil {
+		t.Fatal(err)
+	}
+	resp, got := postRun(t, ts, `{"scenario":"table2","format":"text"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("text response differs\ngot:  %q\nwant: %q", got, want.Bytes())
+	}
+}
+
+func TestScenariosEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var infos []experiments.Info
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(experiments.Names()) {
+		t.Fatalf("scenarios = %d, want %d", len(infos), len(experiments.Names()))
+	}
+	for i, name := range experiments.Names() {
+		if infos[i].Name != name {
+			t.Errorf("scenario[%d] = %q, want %q", i, infos[i].Name, name)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, CacheMaxBytes: 1 << 20, MaxInFlight: 3})
+	if resp, _ := postRun(t, ts, `{"scenario":"fig4"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup run failed: %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Build.Version == "" || st.Build.Go == "" {
+		t.Errorf("missing build info: %+v", st.Build)
+	}
+	if st.Workers != 2 || st.MaxInFlight != 3 {
+		t.Errorf("config not reflected: %+v", st)
+	}
+	if st.Served != 1 {
+		t.Errorf("served = %d, want 1", st.Served)
+	}
+	if st.Cache.MaxBytes != 1<<20 {
+		t.Errorf("cache max = %d", st.Cache.MaxBytes)
+	}
+	if st.Cache.Misses == 0 {
+		t.Error("warmup run built nothing?")
+	}
+	if len(st.Cache.Tables) != 3 {
+		t.Errorf("tables = %v", st.Cache.Tables)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"scenario":"fig99"}`, http.StatusNotFound},
+		{`{"scenario":"fig5","params":{"bogus":"1"}}`, http.StatusBadRequest},
+		{`{"scenario":"single","params":{"batch":"many"}}`, http.StatusBadRequest},
+		{`{"scenario":"fig10","format":"yaml"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postRun(t, ts, c.body)
+		if resp.StatusCode != c.code {
+			t.Errorf("%s: HTTP %d, want %d", c.body, resp.StatusCode, c.code)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", c.body, body)
+		}
+	}
+}
+
+// TestConcurrentClients exercises the serving path under real contention
+// (run with -race): many clients, a small in-flight bound, a bounded cache.
+// All requests must succeed, identical concurrent requests must coalesce
+// onto the singleflight cache (distinct plan builds stay constant), and the
+// cache must end under its bound.
+func TestConcurrentClients(t *testing.T) {
+	const maxBytes = 256 << 10
+	svc, ts := newTestServer(t, Config{CacheMaxBytes: maxBytes, MaxInFlight: 4})
+	scenarios := []string{"fig4", "fig5", "single", "fig3"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := scenarios[i%len(scenarios)]
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"scenario":%q}`, name)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("%s: HTTP %d", name, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := svc.Engine().Cache().Stats()
+	// The four scenarios touch three distinct plan keys (fig4 and fig5 share
+	// resnet50/MBS1; fig5 adds MBS2; single adds the batch-0 default MBS2
+	// key) — 64 requests may rebuild an evicted key but must not plan once
+	// per request.
+	if st.PlanMisses >= 32 {
+		t.Errorf("plan misses = %d for 64 requests — singleflight/caching not coalescing", st.PlanMisses)
+	}
+	if st.HitRate() < 0.5 {
+		t.Errorf("hit rate = %.3f, want coalesced lookups", st.HitRate())
+	}
+	if st.Bytes > maxBytes {
+		t.Errorf("cache bytes %d exceed bound %d", st.Bytes, maxBytes)
+	}
+	if resp, _ := postRun(t, ts, `{"scenario":"fig4"}`); resp.StatusCode != http.StatusOK {
+		t.Error("server unhealthy after load")
+	}
+}

@@ -9,24 +9,144 @@ import (
 	"repro/internal/models"
 )
 
+// lruNode is one cached artifact's position in the cache-wide recency list.
+// It lives under budget.mu; drop removes the artifact from its owning memo.
+type lruNode struct {
+	prev, next *lruNode
+	cost       int64
+	inList     bool
+	drop       func()
+}
+
+// budget is the cache-wide memory accountant: every successfully built
+// artifact is charged an estimated byte cost on one shared LRU list, and
+// inserting past the configured bound evicts from the cold end, whichever
+// table the cold entries live in. maxBytes == 0 means unbounded (the
+// default, preserving one-shot CLI behaviour); a long-lived process sets a
+// bound via Cache.SetMaxBytes.
+//
+// Lock order is budget.mu -> memo.mu (drop locks the memo); memo.get never
+// calls into the budget while holding its own lock.
+type budget struct {
+	// maxBytes is atomic so the hit path can skip LRU bookkeeping entirely
+	// when no bound is configured, without taking mu.
+	maxBytes   atomic.Int64
+	mu         sync.Mutex
+	curBytes   int64
+	head, tail *lruNode // head = most recently used
+}
+
+// insert links n at the hot end, charges its cost, and evicts cold entries
+// until the cache is back under bound. The just-inserted node is never
+// evicted, so a single artifact larger than the whole bound still caches
+// (and is dropped as soon as the next insert arrives).
+func (b *budget) insert(n *lruNode) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pushFront(n)
+	b.curBytes += n.cost
+	if b.maxBytes.Load() <= 0 {
+		return
+	}
+	b.evictOverLocked(n)
+}
+
+// touch marks n as most recently used; a no-op if n was evicted concurrently.
+// Unbounded caches (the one-shot CLI default) skip the shared lock entirely:
+// nothing ever evicts, so recency order is irrelevant and the parallel sweep
+// hot path stays contention-free.
+func (b *budget) touch(n *lruNode) {
+	if b.maxBytes.Load() <= 0 {
+		return
+	}
+	b.mu.Lock()
+	if n.inList {
+		b.unlink(n)
+		b.pushFront(n)
+	}
+	b.mu.Unlock()
+}
+
+// setMax installs a new bound and immediately evicts down to it.
+func (b *budget) setMax(maxBytes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maxBytes.Store(maxBytes)
+	if maxBytes > 0 {
+		b.evictOverLocked(nil)
+	}
+}
+
+// evictOverLocked drops cold entries until curBytes <= maxBytes, sparing keep.
+func (b *budget) evictOverLocked(keep *lruNode) {
+	for b.curBytes > b.maxBytes.Load() && b.tail != nil && b.tail != keep {
+		n := b.tail
+		b.unlink(n)
+		b.curBytes -= n.cost
+		n.drop()
+	}
+}
+
+func (b *budget) pushFront(n *lruNode) {
+	n.prev, n.next = nil, b.head
+	if b.head != nil {
+		b.head.prev = n
+	}
+	b.head = n
+	if b.tail == nil {
+		b.tail = n
+	}
+	n.inList = true
+}
+
+func (b *budget) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		b.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		b.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	n.inList = false
+}
+
+func (b *budget) snapshot() (cur, max int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.curBytes, b.maxBytes.Load()
+}
+
 // memo is a concurrency-safe keyed memoization table with singleflight
 // semantics: concurrent callers of the same key block on one build and share
-// its result (value and error alike).
+// its result (value and error alike), so N simultaneous requests for a plan
+// cost one planning pass. Failed builds are not retained: the key is
+// unmapped as soon as the build completes, so a stream of requests with
+// distinct invalid keys (e.g. unknown network names over the HTTP API)
+// cannot grow the table — error entries would be invisible to the byte
+// budget, which only accounts successful builds.
 type memo[K comparable, V any] struct {
-	mu     sync.Mutex
-	m      map[K]*memoEntry[V]
-	hits   atomic.Int64
-	misses atomic.Int64
+	mu        sync.Mutex
+	m         map[K]*memoEntry[V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 type memoEntry[V any] struct {
 	once sync.Once
 	val  V
 	err  error
+	node *lruNode // nil for error results and unbudgeted tables
 }
 
-// get returns the cached value for k, building it at most once.
-func (mm *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
+// get returns the cached value for k, building it at most once. Successful
+// builds are charged cost(val) bytes against b; evicted keys rebuild on next
+// use (counted as a fresh miss).
+func (mm *memo[K, V]) get(b *budget, k K, cost func(V) int64, build func() (V, error)) (V, error) {
 	mm.mu.Lock()
 	if mm.m == nil {
 		mm.m = make(map[K]*memoEntry[V])
@@ -42,7 +162,34 @@ func (mm *memo[K, V]) get(k K, build func() (V, error)) (V, error) {
 	} else {
 		mm.misses.Add(1)
 	}
-	e.once.Do(func() { e.val, e.err = build() })
+	e.once.Do(func() {
+		e.val, e.err = build()
+		if e.err != nil {
+			// Drop the failed entry (waiters already holding e still share
+			// the error); the guard keeps a concurrent rebuild's entry safe.
+			mm.mu.Lock()
+			if mm.m[k] == e {
+				delete(mm.m, k)
+			}
+			mm.mu.Unlock()
+			return
+		}
+		e.node = &lruNode{cost: cost(e.val), drop: func() {
+			// Only unmap if k still resolves to this entry: a key can be
+			// evicted and rebuilt while the stale node sits in the list.
+			mm.mu.Lock()
+			if mm.m[k] == e {
+				delete(mm.m, k)
+			}
+			mm.mu.Unlock()
+			mm.evictions.Add(1)
+		}}
+		b.insert(e.node)
+	})
+	// once.Do orders this read after the build, so e.node is safe to touch.
+	if ok && e.node != nil {
+		b.touch(e.node)
+	}
 	return e.val, e.err
 }
 
@@ -57,23 +204,46 @@ type planKey struct {
 // Cache memoizes the expensive artifacts shared between sweep cells: built
 // networks, MBS schedules, and per-step traffic ledgers. All three are
 // immutable after construction, so cached values are shared freely across
-// goroutines. The zero value is ready to use.
+// goroutines — eviction only drops the cache's reference, never a value a
+// caller already holds. The zero value is ready to use and unbounded.
 type Cache struct {
+	bud     budget
 	nets    memo[string, *graph.Network]
 	plans   memo[planKey, *core.Schedule]
 	ledgers memo[planKey, *core.Traffic]
 }
 
+// SetMaxBytes bounds the cache's estimated footprint; entries past the bound
+// are evicted least-recently-used across all three tables. maxBytes <= 0
+// restores the unbounded default.
+func (c *Cache) SetMaxBytes(maxBytes int64) { c.bud.setMax(maxBytes) }
+
+// Cost estimates. Values are immutable object graphs, so a flat per-element
+// charge is a faithful order-of-magnitude accounting — the bound controls
+// growth, it is not a malloc-exact ledger. Networks are charged once and
+// shared by every schedule that references them.
+func costNetwork(n *graph.Network) int64 {
+	return 512 + 384*int64(len(n.Layers())) + 128*int64(len(n.Blocks))
+}
+
+func costSchedule(s *core.Schedule) int64 {
+	return 256 + 64*int64(len(s.Groups)) + 8*int64(len(s.Net.Blocks))
+}
+
+func costTraffic(t *core.Traffic) int64 {
+	return 128 + 192*int64(len(t.Items))
+}
+
 // Network returns the built network for name, constructing it on first use.
 func (c *Cache) Network(name string) (*graph.Network, error) {
-	return c.nets.get(name, func() (*graph.Network, error) {
+	return c.nets.get(&c.bud, name, costNetwork, func() (*graph.Network, error) {
 		return models.Build(name)
 	})
 }
 
 // Plan returns the MBS schedule for (network, opts), planning on first use.
 func (c *Cache) Plan(network string, opts core.Options) (*core.Schedule, error) {
-	return c.plans.get(planKey{network, opts}, func() (*core.Schedule, error) {
+	return c.plans.get(&c.bud, planKey{network, opts}, costSchedule, func() (*core.Schedule, error) {
 		net, err := c.Network(network)
 		if err != nil {
 			return nil, err
@@ -85,7 +255,7 @@ func (c *Cache) Plan(network string, opts core.Options) (*core.Schedule, error) 
 // Traffic returns the traffic ledger for (network, opts), walking the
 // schedule on first use.
 func (c *Cache) Traffic(network string, opts core.Options) (*core.Traffic, error) {
-	return c.ledgers.get(planKey{network, opts}, func() (*core.Traffic, error) {
+	return c.ledgers.get(&c.bud, planKey{network, opts}, costTraffic, func() (*core.Traffic, error) {
 		s, err := c.Plan(network, opts)
 		if err != nil {
 			return nil, err
@@ -94,18 +264,48 @@ func (c *Cache) Traffic(network string, opts core.Options) (*core.Traffic, error
 	})
 }
 
-// Stats reports hit/miss counters per cache table.
+// Stats reports hit/miss/eviction counters per cache table plus the shared
+// byte accounting.
 type Stats struct {
-	NetworkHits, NetworkMisses int64
-	PlanHits, PlanMisses       int64
-	TrafficHits, TrafficMisses int64
+	NetworkHits, NetworkMisses, NetworkEvictions int64
+	PlanHits, PlanMisses, PlanEvictions          int64
+	TrafficHits, TrafficMisses, TrafficEvictions int64
+
+	// Bytes is the estimated footprint of the cached artifacts; MaxBytes is
+	// the configured bound (0 = unbounded).
+	Bytes, MaxBytes int64
+}
+
+// Hits returns the total hit count across tables.
+func (s Stats) Hits() int64 { return s.NetworkHits + s.PlanHits + s.TrafficHits }
+
+// Misses returns the total miss count across tables.
+func (s Stats) Misses() int64 { return s.NetworkMisses + s.PlanMisses + s.TrafficMisses }
+
+// Evictions returns the total eviction count across tables.
+func (s Stats) Evictions() int64 {
+	return s.NetworkEvictions + s.PlanEvictions + s.TrafficEvictions
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
+	cur, max := c.bud.snapshot()
 	return Stats{
 		NetworkHits: c.nets.hits.Load(), NetworkMisses: c.nets.misses.Load(),
-		PlanHits: c.plans.hits.Load(), PlanMisses: c.plans.misses.Load(),
-		TrafficHits: c.ledgers.hits.Load(), TrafficMisses: c.ledgers.misses.Load(),
+		NetworkEvictions: c.nets.evictions.Load(),
+		PlanHits:         c.plans.hits.Load(), PlanMisses: c.plans.misses.Load(),
+		PlanEvictions: c.plans.evictions.Load(),
+		TrafficHits:   c.ledgers.hits.Load(), TrafficMisses: c.ledgers.misses.Load(),
+		TrafficEvictions: c.ledgers.evictions.Load(),
+		Bytes:            cur, MaxBytes: max,
 	}
 }
