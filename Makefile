@@ -54,7 +54,8 @@ serve:
 	$(GO) run $(LDFLAGS) ./cmd/mbsd -addr $(SERVE_ADDR) -cache-mb $(CACHE_MB) -max-inflight $(MAX_INFLIGHT)
 
 # Start a local mbsd, fire ~1000 concurrent requests at it, and assert zero
-# failures, >90% engine-cache hit rate, and the cache under its byte bound.
+# failures, >90% engine-cache hit rate, and the cache under its byte bound;
+# then exercise the v2 job API (submit/stream/cancel) through pkg/client.
 load-smoke:
 	@mkdir -p bin
 	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
@@ -62,7 +63,7 @@ load-smoke:
 	@./bin/mbsd -addr 127.0.0.1:18080 -cache-mb 64 & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
-		bin/mbsload -url http://127.0.0.1:18080 -n 0 -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
+		bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
 	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64
 

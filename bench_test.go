@@ -19,6 +19,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -42,7 +43,10 @@ func newRunner() experiments.Runner { return experiments.Runner{E: sweep.New(0)}
 // BenchmarkFig3Footprints regenerates the ResNet-50 footprint profile.
 func BenchmarkFig3Footprints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := newRunner().Fig3(io.Discard)
+		rows, err := newRunner().Fig3(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -52,7 +56,10 @@ func BenchmarkFig3Footprints(b *testing.B) {
 // BenchmarkFig4Grouping regenerates the per-block grouping profile.
 func BenchmarkFig4Grouping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := newRunner().Fig4(io.Discard)
+		rows, err := newRunner().Fig4(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) == 0 {
 			b.Fatal("no rows")
 		}
@@ -62,7 +69,7 @@ func BenchmarkFig4Grouping(b *testing.B) {
 // BenchmarkFig5Schedule regenerates the concrete ResNet-50 MBS schedules.
 func BenchmarkFig5Schedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := newRunner().Fig5(io.Discard, "resnet50"); err != nil {
+		if _, err := newRunner().Fig5(context.Background(), io.Discard, "resnet50"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +82,10 @@ func BenchmarkFig6Training(b *testing.B) {
 	cfg.Epochs = 3
 	cfg.Data.Samples = 128
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig6(io.Discard, cfg)
+		res, err := experiments.Fig6(context.Background(), io.Discard, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.GNMBS.ValError) != cfg.Epochs {
 			b.Fatal("missing epochs")
 		}
@@ -90,7 +100,7 @@ func fig10Metrics(b *testing.B, network string, metric func(experiments.Fig10Cel
 	var cells []experiments.Fig10Cell
 	for i := 0; i < b.N; i++ {
 		var err error
-		cells, err = newRunner().Fig10(io.Discard, network)
+		cells, err = newRunner().Fig10(context.Background(), io.Discard, network)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +148,11 @@ func BenchmarkFig10Traffic(b *testing.B) {
 func BenchmarkFig11BufferSweep(b *testing.B) {
 	var points []experiments.Fig11Point
 	for i := 0; i < b.N; i++ {
-		points = newRunner().Fig11(io.Discard)
+		var err error
+		points, err = newRunner().Fig11(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range points {
 		if p.Config == core.MBS2 {
@@ -151,7 +165,11 @@ func BenchmarkFig11BufferSweep(b *testing.B) {
 func BenchmarkFig12MemorySweep(b *testing.B) {
 	var points []experiments.Fig12Point
 	for i := 0; i < b.N; i++ {
-		points = newRunner().Fig12(io.Discard)
+		var err error
+		points, err = newRunner().Fig12(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range points {
 		if p.Config == core.MBS2 || p.Config == core.Baseline {
@@ -164,7 +182,11 @@ func BenchmarkFig12MemorySweep(b *testing.B) {
 func BenchmarkFig13GPUComparison(b *testing.B) {
 	var points []experiments.Fig13Point
 	for i := 0; i < b.N; i++ {
-		points = newRunner().Fig13(io.Discard)
+		var err error
+		points, err = newRunner().Fig13(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range points {
 		b.ReportMetric(p.Speedup, fmt.Sprintf("%s-%s-x", p.Network, p.Memory))
@@ -175,7 +197,11 @@ func BenchmarkFig13GPUComparison(b *testing.B) {
 func BenchmarkFig14Utilization(b *testing.B) {
 	var cells []experiments.Fig14Cell
 	for i := 0; i < b.N; i++ {
-		cells = newRunner().Fig14(io.Discard)
+		var err error
+		cells, err = newRunner().Fig14(context.Background(), io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	sums := map[core.Config]float64{}
 	counts := map[core.Config]int{}
@@ -301,7 +327,7 @@ func benchSuite(b *testing.B, workers int) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Runner{E: sweep.New(workers)}
-		if err := r.All(io.Discard); err != nil {
+		if err := r.All(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -320,12 +346,12 @@ func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) }
 // rendering cost.
 func BenchmarkSuiteCached(b *testing.B) {
 	r := newRunner()
-	if err := r.All(io.Discard); err != nil {
+	if err := r.All(context.Background(), io.Discard); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := r.All(io.Discard); err != nil {
+		if err := r.All(context.Background(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}

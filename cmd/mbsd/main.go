@@ -15,10 +15,14 @@
 //	curl localhost:8080/v1/scenarios
 //	curl -X POST localhost:8080/v1/run -d '{"scenario":"fig10"}'
 //	curl localhost:8080/v1/stats
+//	curl -X POST localhost:8080/v2/jobs -d '{"scenario":"sweep"}'   # async submit
+//	curl localhost:8080/v2/jobs/job-1                               # status/result
+//	curl localhost:8080/v2/jobs/job-1/stream                        # NDJSON cells
+//	curl -X DELETE localhost:8080/v2/jobs/job-1                     # cancel
 //
 // JSON run responses are byte-identical to `mbsim -scenario <name> -json`.
-// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain
-// (up to 15s) before the process exits.
+// SIGINT/SIGTERM trigger a graceful shutdown: live v2 jobs are cancelled,
+// then in-flight requests drain (up to 15s) before the process exits.
 package main
 
 import (
@@ -78,6 +82,10 @@ func main() {
 	log.Printf("mbsd: shutting down, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
+	// Cancel live v2 jobs first: their executors abort at the next
+	// cancellation point, streams emit their done events and close, and the
+	// drain below then has nothing long-lived left to wait on.
+	svc.Close()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("mbsd: shutdown: %v", err)
 	}

@@ -21,10 +21,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
@@ -74,6 +78,11 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the in-flight sweep cleanly: workers drain, nothing is
+	// half-written, and the process exits with the conventional 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	e := sweep.New(*parallel)
 	r := experiments.Runner{E: e}
 
@@ -112,7 +121,7 @@ func main() {
 		fatal(fmt.Errorf("mbsim: unknown scenario %q (run mbsim -list)", name))
 	}
 	if *jsonOut {
-		data, err := s.Run(r, experiments.Params(params), nil)
+		data, err := s.Run(ctx, r, experiments.Params(params), nil)
 		if err != nil {
 			fatal(err)
 		}
@@ -121,7 +130,7 @@ func main() {
 		}
 		return
 	}
-	if _, err := s.Run(r, experiments.Params(params), os.Stdout); err != nil {
+	if _, err := s.Run(ctx, r, experiments.Params(params), os.Stdout); err != nil {
 		fatal(err)
 	}
 	// CLI-only trailers, outside the scenario render so server text output
@@ -160,6 +169,10 @@ func printRegistry() {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mbsim: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

@@ -1,22 +1,28 @@
-// Command mbsload is the load-smoke client for mbsd: it fires N concurrent
-// POST /v1/run requests at a running server, asserts every response is a
-// 200, then reads /v1/stats and asserts the engine cache coalesced the work
-// (hit rate above a floor) and stayed under its configured byte bound.
-// `make load-smoke` wires it against a freshly started local mbsd.
+// Command mbsload is the load- and API-smoke client for mbsd, built on the
+// typed pkg/client. It fires N concurrent POST /v1/run requests at a
+// running server, asserts every response is a 200, then reads /v1/stats and
+// asserts the engine cache coalesced the work (hit rate above a floor) and
+// stayed under its configured byte bound. With -v2-smoke (the default) it
+// also exercises the asynchronous v2 job API: submit a sweep job, follow
+// its NDJSON stream and require cell events ahead of the done event,
+// verify the job result is byte-identical to the synchronous /v1/run
+// response, and submit-then-cancel a second job, requiring the
+// cancellation counters to move. `make load-smoke` wires it against a
+// freshly started local mbsd.
 //
 // Usage:
 //
 //	mbsload -url http://127.0.0.1:8080 -n 1000 -c 64
 //	mbsload -scenarios fig3,fig4,table2 -min-hit-rate 0.9
+//	mbsload -n 0                # v2 smoke only
+//	mbsload -n 0 -v2-smoke=false -min-hit-rate 0   # readiness probe
 package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -24,15 +30,17 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/pkg/client"
 )
 
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "mbsd base URL")
-	n := flag.Int("n", 1000, "total requests")
+	n := flag.Int("n", 1000, "total synchronous requests")
 	c := flag.Int("c", 64, "concurrent clients")
 	scenarios := flag.String("scenarios", "fig3,fig4,fig5,table2,single",
 		"comma-separated scenarios to rotate over")
 	minHitRate := flag.Float64("min-hit-rate", 0.9, "required engine cache hit rate")
+	v2smoke := flag.Bool("v2-smoke", true, "exercise the v2 job API (submit/stream/cancel)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -41,8 +49,9 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
+	cl := client.New(*url)
 	names := strings.Split(*scenarios, ",")
-	client := &http.Client{Timeout: 120 * time.Second}
 
 	var failures atomic.Int64
 	var errMu sync.Mutex
@@ -68,17 +77,11 @@ func main() {
 					return
 				}
 				name := names[i%len(names)]
-				body, _ := json.Marshal(map[string]any{"scenario": name})
-				resp, err := client.Post(*url+"/v1/run", "application/json", bytes.NewReader(body))
+				reqCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+				_, err := cl.Run(reqCtx, client.RunRequest{Scenario: name})
+				cancel()
 				if err != nil {
 					record(fmt.Errorf("request %d (%s): %w", i, name, err))
-					continue
-				}
-				payload, _ := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					record(fmt.Errorf("request %d (%s): HTTP %d: %s",
-						i, name, resp.StatusCode, bytes.TrimSpace(payload)))
 				}
 			}
 		}()
@@ -86,28 +89,15 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var stats struct {
-		Cache struct {
-			Hits      int64   `json:"hits"`
-			Misses    int64   `json:"misses"`
-			Evictions int64   `json:"evictions"`
-			HitRate   float64 `json:"hit_rate"`
-			Bytes     int64   `json:"bytes"`
-			MaxBytes  int64   `json:"max_bytes"`
-		} `json:"cache"`
-		Served int64 `json:"served"`
-	}
-	resp, err := client.Get(*url + "/v1/stats")
+	stats, err := cl.Stats(ctx)
 	if err != nil {
 		fatal(fmt.Errorf("stats: %w", err))
 	}
-	defer resp.Body.Close()
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
-		fatal(fmt.Errorf("stats: %w", err))
-	}
 
-	fmt.Printf("load-smoke: %d requests in %v (%.0f req/s), %d failures\n",
-		*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), failures.Load())
+	if *n > 0 {
+		fmt.Printf("load-smoke: %d requests in %v (%.0f req/s), %d failures\n",
+			*n, elapsed.Round(time.Millisecond), float64(*n)/elapsed.Seconds(), failures.Load())
+	}
 	fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.3f bytes=%d max=%d\n",
 		stats.Cache.Hits, stats.Cache.Misses, stats.Cache.Evictions,
 		stats.Cache.HitRate, stats.Cache.Bytes, stats.Cache.MaxBytes)
@@ -115,13 +105,101 @@ func main() {
 	if f := failures.Load(); f > 0 {
 		fatal(fmt.Errorf("%d/%d requests failed; first: %v", f, *n, firstErr))
 	}
-	if stats.Cache.HitRate < *minHitRate {
+	if *n > 0 && stats.Cache.HitRate < *minHitRate {
 		fatal(fmt.Errorf("cache hit rate %.3f below required %.2f", stats.Cache.HitRate, *minHitRate))
 	}
 	if stats.Cache.MaxBytes > 0 && stats.Cache.Bytes > stats.Cache.MaxBytes {
 		fatal(fmt.Errorf("cache bytes %d exceed configured bound %d", stats.Cache.Bytes, stats.Cache.MaxBytes))
 	}
+
+	if *v2smoke {
+		if err := smokeV2(ctx, cl); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Println("load-smoke: OK")
+}
+
+// smokeV2 exercises the asynchronous API end to end through pkg/client:
+// submit + stream + result parity, then submit + cancel.
+func smokeV2(ctx context.Context, cl *client.Client) error {
+	// 1. Submit a sweep job and follow its stream: cell events must arrive
+	// before the done event, and the final result must be byte-identical to
+	// the synchronous /v1/run response for the same request.
+	params := map[string]string{"axes": "buffer"}
+	job, err := cl.Submit(ctx, "sweep", params)
+	if err != nil {
+		return fmt.Errorf("v2 submit: %w", err)
+	}
+	stream, err := cl.Stream(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("v2 stream: %w", err)
+	}
+	defer stream.Close()
+	cells, done := 0, false
+	for !done {
+		ev, err := stream.Next()
+		if err != nil {
+			return fmt.Errorf("v2 stream %s: %w", job.ID, err)
+		}
+		switch ev.Type {
+		case "cell":
+			cells++
+		case "done":
+			done = true
+			if ev.Job == nil || ev.Job.State != client.JobDone {
+				return fmt.Errorf("v2 job %s finished %v, want done", job.ID, ev.Job)
+			}
+		}
+	}
+	if cells == 0 {
+		return fmt.Errorf("v2 stream %s delivered no cell events", job.ID)
+	}
+	result, err := cl.Result(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("v2 result: %w", err)
+	}
+	syncBytes, err := cl.Run(ctx, client.RunRequest{Scenario: "sweep", Params: params})
+	if err != nil {
+		return fmt.Errorf("v1 run for parity: %w", err)
+	}
+	if !bytes.Equal(result, syncBytes) {
+		return fmt.Errorf("v2 job result differs from the synchronous /v1/run bytes (%d vs %d bytes)",
+			len(result), len(syncBytes))
+	}
+	fmt.Printf("v2: job %s streamed %d cells, result matches /v1/run\n", job.ID, cells)
+
+	// 2. Submit the full suite and cancel it immediately: the job must land
+	// in the cancelled state and the cancellation counter must move.
+	before, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	victim, err := cl.Submit(ctx, "all", nil)
+	if err != nil {
+		return fmt.Errorf("v2 submit (cancel target): %w", err)
+	}
+	cancelled, err := cl.Cancel(ctx, victim.ID)
+	if err != nil {
+		return fmt.Errorf("v2 cancel: %w", err)
+	}
+	if cancelled.State != client.JobCancelled {
+		return fmt.Errorf("v2 cancel: job %s state %s, want cancelled", victim.ID, cancelled.State)
+	}
+	after, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if after.Jobs.Cancellations <= before.Jobs.Cancellations {
+		return fmt.Errorf("v2 cancel: cancellations counter did not move (%d -> %d)",
+			before.Jobs.Cancellations, after.Jobs.Cancellations)
+	}
+	if after.Jobs.Submitted < 2 {
+		return fmt.Errorf("v2: submitted counter = %d, want >= 2", after.Jobs.Submitted)
+	}
+	fmt.Printf("v2: job %s cancelled (cancellations %d -> %d)\n",
+		victim.ID, before.Jobs.Cancellations, after.Jobs.Cancellations)
+	return nil
 }
 
 func fatal(err error) {

@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
@@ -57,6 +60,11 @@ func main() {
 	tensor.SetThreads(*threads)
 	fmt.Printf("engine=%s threads=%d\n", eng, tensor.Threads())
 
+	// Ctrl-C cancels the training run at the next epoch boundary instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if !*checkOnly {
 		cfg := experiments.DefaultFig6Config()
 		cfg.Seed = *seed
@@ -72,8 +80,15 @@ func main() {
 		if *subBatch > 0 {
 			cfg.SubBatch = *subBatch
 		}
-		experiments.Fig6(os.Stdout, cfg)
+		if _, err := experiments.Fig6(ctx, os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "mbstrain: interrupted")
+			os.Exit(130)
+		}
 		fmt.Println()
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "mbstrain: interrupted")
+		os.Exit(130)
 	}
 
 	// Gradient-equivalence check (the paper's Section 3 claim, verified

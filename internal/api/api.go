@@ -1,0 +1,125 @@
+// Package api defines the wire types shared by the mbsd HTTP surface: the
+// structured error body every endpoint returns, and the job status / stream
+// event shapes of the v2 asynchronous API. internal/service and
+// internal/jobs both render these; pkg/client mirrors them for consumers
+// outside the module, so this package is the single source of truth for the
+// field names on the wire.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/report"
+)
+
+// Error codes, returned in the "code" field of every error body so clients
+// can branch without parsing messages.
+const (
+	CodeBadRequest      = "bad_request"      // malformed body, unknown format
+	CodeUnknownScenario = "unknown_scenario" // scenario not in the registry (404)
+	CodeInvalidParams   = "invalid_params"   // scenario exists, params do not validate (422)
+	CodeUnknownJob      = "unknown_job"      // job id not found (404)
+	CodeNoResult        = "no_result"        // job exists but has no result yet (404)
+	CodeRunFailed       = "run_failed"       // the scenario executed and failed
+	CodeCancelled       = "cancelled"        // the run or job was cancelled
+	CodeUnavailable     = "unavailable"      // queue full / shutting down (503)
+	CodeInternal        = "internal"         // rendering or other server-side failure
+)
+
+// Error is the structured error body: {"error": ..., "scenario": ..., "code": ...}.
+// It implements error so validation layers can return one and HTTP handlers
+// can write it with its intended status.
+type Error struct {
+	Status   int    `json:"-"` // HTTP status; not part of the body
+	Message  string `json:"error"`
+	Scenario string `json:"scenario,omitempty"`
+	Code     string `json:"code"`
+}
+
+func (e *Error) Error() string { return e.Message }
+
+// Errorf builds an Error with a formatted message.
+func Errorf(status int, code, scenario, format string, args ...any) *Error {
+	return &Error{
+		Status:   status,
+		Code:     code,
+		Scenario: scenario,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// From coerces err into an *Error, wrapping foreign errors as a 400
+// run_failed so every error path produces the structured body.
+func From(err error, scenario string) *Error {
+	if ae, ok := err.(*Error); ok {
+		return ae
+	}
+	return Errorf(http.StatusBadRequest, CodeRunFailed, scenario, "%s", err)
+}
+
+// Write renders e as its JSON body with its HTTP status.
+func Write(w http.ResponseWriter, e *Error) {
+	status := e.Status
+	if status == 0 {
+		status = http.StatusBadRequest
+	}
+	WriteJSON(w, status, e)
+}
+
+// WriteJSON writes v through the house JSON renderer with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = report.WriteJSON(w, v)
+}
+
+// JobState is a v2 job's lifecycle position.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"    // submitted, waiting for an execution slot
+	JobRunning   JobState = "running"   // executing on the engine
+	JobDone      JobState = "done"      // finished successfully; result available
+	JobFailed    JobState = "failed"    // finished with an execution error
+	JobCancelled JobState = "cancelled" // cancelled by DELETE or shutdown
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is the GET /v2/jobs/{id} body (and the job payload of stream
+// status/done events, where Result is omitted).
+type JobStatus struct {
+	ID             string            `json:"id"`
+	Scenario       string            `json:"scenario"`
+	Params         map[string]string `json:"params,omitempty"`
+	State          JobState          `json:"state"`
+	Error          string            `json:"error,omitempty"`
+	Code           string            `json:"code,omitempty"` // error code for failed/cancelled jobs
+	CellsCompleted int               `json:"cells_completed"`
+	SubmittedAt    time.Time         `json:"submitted_at"`
+	StartedAt      *time.Time        `json:"started_at,omitempty"`
+	FinishedAt     *time.Time        `json:"finished_at,omitempty"`
+	// Result is the scenario's rendered JSON — the same bytes POST /v1/run
+	// returns for the same request — present once State == done.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Event is one NDJSON line of GET /v2/jobs/{id}/stream. The stream opens
+// with a "status" event, emits one "cell" event per completed sweep cell as
+// it finishes, and closes with a "done" event carrying the terminal status.
+type Event struct {
+	Type string `json:"type"` // "status" | "cell" | "done"
+	// Index is the cell's position in the submitted grid. No omitempty:
+	// the first cell of every grid is index 0 and must still carry the
+	// field, as the documented event shape promises.
+	Index int        `json:"index"`
+	Cell  string     `json:"cell,omitempty"` // cell: human-readable cell label
+	Row   any        `json:"row,omitempty"`  // cell: the flattened result row
+	Job   *JobStatus `json:"job,omitempty"`  // status/done: the job (without result)
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -31,6 +32,12 @@ var DeepCNNs = []string{"resnet50", "resnet101", "resnet152", "inceptionv3", "in
 // Runner evaluates the paper's figures and tables on a sweep engine. The
 // zero value is not usable; construct with a concrete engine, e.g.
 // Runner{E: sweep.New(0)} for a parallel run over all cores.
+//
+// Every method takes a context.Context: a cancelled context stops the
+// underlying grid promptly and the method returns the context's error. The
+// package-level convenience wrappers run on context.Background() and keep
+// their historical one-shot semantics (panicking on the engine errors that
+// static grids cannot produce).
 type Runner struct {
 	E *sweep.Engine
 }
@@ -41,8 +48,17 @@ func seqRunner() Runner { return Runner{E: sweep.New(1)} }
 
 // plan builds (or fetches from the engine cache) the default schedule for
 // (network, config).
-func (r Runner) plan(name string, cfg core.Config) (*core.Schedule, error) {
-	return r.E.Plan(name, core.DefaultOptions(cfg, models.DefaultBatch(name)))
+func (r Runner) plan(ctx context.Context, name string, cfg core.Config) (*core.Schedule, error) {
+	return r.E.Plan(ctx, name, core.DefaultOptions(cfg, models.DefaultBatch(name)))
+}
+
+// must panics on err — the package-level wrappers' historical behaviour for
+// the fixed paper grids, whose cells cannot fail.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // --- Fig. 3 -----------------------------------------------------------------
@@ -58,13 +74,13 @@ type Fig3Row struct {
 // Fig3 computes the per-layer inter-layer data and parameter sizes of
 // ResNet-50 with a 32-sample mini-batch at 16-bit words, sorted descending
 // by inter-layer size as in the paper's plot.
-func Fig3(w io.Writer) []Fig3Row { return seqRunner().Fig3(w) }
+func Fig3(w io.Writer) []Fig3Row { return must(seqRunner().Fig3(context.Background(), w)) }
 
 // Fig3 is the engine-backed form of the package-level Fig3.
-func (r Runner) Fig3(w io.Writer) []Fig3Row {
-	net, err := r.E.Network("resnet50")
+func (r Runner) Fig3(ctx context.Context, w io.Writer) ([]Fig3Row, error) {
+	net, err := r.E.Network(ctx, "resnet50")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	inter, params := net.LayerFootprints(32)
 	layers := net.Layers()
@@ -96,7 +112,7 @@ func (r Runner) Fig3(w io.Writer) []Fig3Row {
 		fmt.Fprintf(w, "inter-layer data reusable within 10 MiB: %s of %s (%.1f%%)\n",
 			report.Bytes(fits), report.Bytes(total), 100*float64(fits)/float64(total))
 	}
-	return rows
+	return rows, nil
 }
 
 // --- Fig. 4 -----------------------------------------------------------------
@@ -112,18 +128,18 @@ type Fig4Row struct {
 // Fig4 computes ResNet-50's per-block inter-layer data size, minimal
 // iteration count, and the resulting MBS layer grouping (32 samples,
 // 10 MiB).
-func Fig4(w io.Writer) []Fig4Row { return seqRunner().Fig4(w) }
+func Fig4(w io.Writer) []Fig4Row { return must(seqRunner().Fig4(context.Background(), w)) }
 
 // Fig4 is the engine-backed form of the package-level Fig4.
-func (r Runner) Fig4(w io.Writer) []Fig4Row {
-	net, err := r.E.Network("resnet50")
+func (r Runner) Fig4(ctx context.Context, w io.Writer) ([]Fig4Row, error) {
+	net, err := r.E.Network(ctx, "resnet50")
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	opts := core.DefaultOptions(core.MBS1, 32)
-	s, err := r.E.Plan("resnet50", opts)
+	s, err := r.E.Plan(ctx, "resnet50", opts)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	rows := make([]Fig4Row, len(net.Blocks))
 	for i, b := range net.Blocks {
@@ -148,21 +164,21 @@ func (r Runner) Fig4(w io.Writer) []Fig4Row {
 		}
 		t.Render(w)
 	}
-	return rows
+	return rows, nil
 }
 
 // --- Fig. 5 -----------------------------------------------------------------
 
 // Fig5 prints the concrete MBS schedules (MBS1 and MBS2) for a network.
 func Fig5(w io.Writer, network string) ([]*core.Schedule, error) {
-	return seqRunner().Fig5(w, network)
+	return seqRunner().Fig5(context.Background(), w, network)
 }
 
 // Fig5 is the engine-backed form of the package-level Fig5.
-func (r Runner) Fig5(w io.Writer, network string) ([]*core.Schedule, error) {
+func (r Runner) Fig5(ctx context.Context, w io.Writer, network string) ([]*core.Schedule, error) {
 	var out []*core.Schedule
 	for _, cfg := range []core.Config{core.MBS1, core.MBS2} {
-		s, err := r.plan(network, cfg)
+		s, err := r.plan(ctx, network, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -196,17 +212,17 @@ type Fig10Cell struct {
 // six CNNs) over the baseline HBM2 memory and reports per-step time, energy
 // and DRAM traffic, normalized as in the paper's Fig. 10.
 func Fig10(w io.Writer, networks ...string) ([]Fig10Cell, error) {
-	return seqRunner().Fig10(w, networks...)
+	return seqRunner().Fig10(context.Background(), w, networks...)
 }
 
 // Fig10 is the engine-backed form of the package-level Fig10.
-func (r Runner) Fig10(w io.Writer, networks ...string) ([]Fig10Cell, error) {
+func (r Runner) Fig10(ctx context.Context, w io.Writer, networks ...string) ([]Fig10Cell, error) {
 	if len(networks) == 0 {
 		networks = DeepCNNs
 	}
 	grid := sweep.Grid{Networks: networks, Configs: core.Configs}
 	gridCells := grid.Cells()
-	results, err := r.E.SimulateGrid(gridCells)
+	results, err := r.E.SimulateGrid(ctx, gridCells)
 	if err != nil {
 		return nil, err
 	}
@@ -278,10 +294,10 @@ type Fig11Point struct {
 
 // Fig11 sweeps the global buffer from 5 to 40 MiB for ResNet-50 across IL
 // and the MBS variants, normalizing to IL at 5 MiB as in the paper.
-func Fig11(w io.Writer) []Fig11Point { return seqRunner().Fig11(w) }
+func Fig11(w io.Writer) []Fig11Point { return must(seqRunner().Fig11(context.Background(), w)) }
 
 // Fig11 is the engine-backed form of the package-level Fig11.
-func (r Runner) Fig11(w io.Writer) []Fig11Point {
+func (r Runner) Fig11(ctx context.Context, w io.Writer) ([]Fig11Point, error) {
 	var cells []sweep.Cell
 	for _, mib := range []int64{5, 10, 20, 30, 40} {
 		for _, cfg := range []core.Config{core.IL, core.MBSFS, core.MBS1, core.MBS2} {
@@ -290,9 +306,9 @@ func (r Runner) Fig11(w io.Writer) []Fig11Point {
 			})
 		}
 	}
-	results, err := r.E.SimulateGrid(cells)
+	results, err := r.E.SimulateGrid(ctx, cells)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	points := make([]Fig11Point, len(cells))
 	for i, res := range results {
@@ -316,7 +332,7 @@ func (r Runner) Fig11(w io.Writer) []Fig11Point {
 		}
 		t.Render(w)
 	}
-	return points
+	return points, nil
 }
 
 // --- Fig. 12 ----------------------------------------------------------------
@@ -333,10 +349,10 @@ type Fig12Point struct {
 
 // Fig12 sweeps memory technologies for ResNet-50 and reports the per-layer-
 // type execution time breakdown.
-func Fig12(w io.Writer) []Fig12Point { return seqRunner().Fig12(w) }
+func Fig12(w io.Writer) []Fig12Point { return must(seqRunner().Fig12(context.Background(), w)) }
 
 // Fig12 is the engine-backed form of the package-level Fig12.
-func (r Runner) Fig12(w io.Writer) []Fig12Point {
+func (r Runner) Fig12(ctx context.Context, w io.Writer) ([]Fig12Point, error) {
 	grid := sweep.Grid{
 		Networks: []string{"resnet50"},
 		Configs:  []core.Config{core.Baseline, core.ArchOpt, core.IL, core.MBS2},
@@ -344,9 +360,9 @@ func (r Runner) Fig12(w io.Writer) []Fig12Point {
 		Batches:  []int{64},
 	}
 	cells := grid.Cells()
-	results, err := r.E.SimulateGrid(cells)
+	results, err := r.E.SimulateGrid(ctx, cells)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	// The normalization reference is the first cell: Baseline on HBM2x2.
 	ref := results[0].StepSeconds
@@ -374,7 +390,7 @@ func (r Runner) Fig12(w io.Writer) []Fig12Point {
 		}
 		t.Render(w)
 	}
-	return points
+	return points, nil
 }
 
 // --- Fig. 13 ----------------------------------------------------------------
@@ -390,27 +406,27 @@ type Fig13Point struct {
 
 // Fig13 compares the V100 model (conventional training, 64-sample
 // mini-batch) against one WaveCore chip running MBS2 (2 cores x 32).
-func Fig13(w io.Writer) []Fig13Point { return seqRunner().Fig13(w) }
+func Fig13(w io.Writer) []Fig13Point { return must(seqRunner().Fig13(context.Background(), w)) }
 
 // Fig13 is the engine-backed form of the package-level Fig13.
-func (r Runner) Fig13(w io.Writer) []Fig13Point {
+func (r Runner) Fig13(ctx context.Context, w io.Writer) ([]Fig13Point, error) {
 	gpu := sim.DefaultV100()
 	networks := []string{"resnet50", "resnet101", "resnet152", "inceptionv3"}
 	memories := []memsys.DRAM{memsys.HBM2x2, memsys.GDDR5, memsys.HBM2, memsys.LPDDR4}
-	gpuRes, err := sweep.Map(r.E, len(networks), func(i int) (*sim.GPUResult, error) {
+	gpuRes, err := sweep.Map(ctx, r.E, len(networks), func(ctx context.Context, i int) (*sim.GPUResult, error) {
 		opts := core.DefaultOptions(core.Baseline, 64)
-		s, err := r.E.Plan(networks[i], opts)
+		s, err := r.E.Plan(ctx, networks[i], opts)
 		if err != nil {
 			return nil, err
 		}
-		tr, err := r.E.Traffic(networks[i], opts)
+		tr, err := r.E.Traffic(ctx, networks[i], opts)
 		if err != nil {
 			return nil, err
 		}
 		return sim.SimulateGPUTraffic(gpu, s, tr), nil
 	})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	grid := sweep.Grid{
 		Networks: networks,
@@ -419,9 +435,9 @@ func (r Runner) Fig13(w io.Writer) []Fig13Point {
 		Batches:  []int{32},
 	}
 	cells := grid.Cells()
-	results, err := r.E.SimulateGrid(cells)
+	results, err := r.E.SimulateGrid(ctx, cells)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	points := make([]Fig13Point, len(cells))
 	for i, res := range results {
@@ -442,7 +458,7 @@ func (r Runner) Fig13(w io.Writer) []Fig13Point {
 		}
 		t.Render(w)
 	}
-	return points
+	return points, nil
 }
 
 // --- Fig. 14 ----------------------------------------------------------------
@@ -456,10 +472,10 @@ type Fig14Cell struct {
 
 // Fig14 measures systolic-array utilization with unlimited DRAM bandwidth
 // for all networks and the five compute-relevant configurations.
-func Fig14(w io.Writer) []Fig14Cell { return seqRunner().Fig14(w) }
+func Fig14(w io.Writer) []Fig14Cell { return must(seqRunner().Fig14(context.Background(), w)) }
 
 // Fig14 is the engine-backed form of the package-level Fig14.
-func (r Runner) Fig14(w io.Writer) []Fig14Cell {
+func (r Runner) Fig14(ctx context.Context, w io.Writer) ([]Fig14Cell, error) {
 	configs := []core.Config{core.Baseline, core.ArchOpt, core.MBSFS, core.MBS1, core.MBS2}
 	grid := sweep.Grid{
 		Networks: DeepCNNs,
@@ -467,9 +483,9 @@ func (r Runner) Fig14(w io.Writer) []Fig14Cell {
 		Memories: []memsys.DRAM{memsys.HBM2.Unlimited()},
 	}
 	gridCells := grid.Cells()
-	results, err := r.E.SimulateGrid(gridCells)
+	results, err := r.E.SimulateGrid(ctx, gridCells)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	cells := make([]Fig14Cell, len(gridCells))
 	sums := make(map[core.Config]float64)
@@ -502,7 +518,7 @@ func (r Runner) Fig14(w io.Writer) []Fig14Cell {
 		t.RowF(avg...)
 		t.Render(w)
 	}
-	return cells
+	return cells, nil
 }
 
 // The scenario registry in registry.go is the single definition of the

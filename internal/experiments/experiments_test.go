@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -199,7 +200,10 @@ func TestFig6ShortRun(t *testing.T) {
 	cfg := DefaultFig6Config()
 	cfg.Epochs = 4
 	cfg.Data.Samples = 128
-	res := Fig6(io.Discard, cfg)
+	res, err := Fig6(context.Background(), io.Discard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.BN.ValError) != 4 || len(res.GNMBS.ValError) != 4 {
 		t.Fatal("missing epochs")
 	}

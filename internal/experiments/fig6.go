@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -57,8 +58,10 @@ type Fig6Result struct {
 // Fig6 trains the substitute classifier twice — once conventionally with
 // BN, once under MBS serialization with GN — and reports the validation
 // error curves plus the pre-activation means of the first and last
-// normalization layers.
-func Fig6(w io.Writer, cfg Fig6Config) *Fig6Result {
+// normalization layers. Cancellation is checked between epochs (the natural
+// consistent point of a training run): on cancel the partial curves trained
+// so far are returned along with ctx's error, and nothing is rendered.
+func Fig6(ctx context.Context, w io.Writer, cfg Fig6Config) (*Fig6Result, error) {
 	data := synth.Generate(cfg.Data)
 	train, val := data.Split(0.75)
 
@@ -79,6 +82,9 @@ func Fig6(w io.Writer, cfg Fig6Config) *Fig6Result {
 		m := nn.BuildSmallCNN(rng, cfg.Data.Channels, cfg.Data.Size, cfg.Data.Classes, run.norm, 8)
 		opt := &nn.SGD{LR: cfg.LR, Momentum: 0.9, WeightDecay: 1e-4}
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			for _, d := range cfg.LRDecayAt {
 				if epoch == d {
 					opt.LR *= 0.1
@@ -124,7 +130,7 @@ func Fig6(w io.Writer, cfg Fig6Config) *Fig6Result {
 			res.BN.ValError[len(res.BN.ValError)-1],
 			res.GNMBS.ValError[len(res.GNMBS.ValError)-1])
 	}
-	return res
+	return res, nil
 }
 
 // firstLastNormMeans runs a probe batch forward and reads the recorded

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,7 +35,7 @@ func goldenCases(t *testing.T) []goldenCase {
 	out := make([]goldenCase, 0, len(scenarios))
 	for _, s := range scenarios {
 		out = append(out, goldenCase{s.Name, func(r Runner, w io.Writer) error {
-			_, err := s.Run(r, nil, w)
+			_, err := s.Run(context.Background(), r, nil, w)
 			return err
 		}})
 	}
@@ -118,14 +119,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 // pair exactly once.
 func TestRunnerCacheReuse(t *testing.T) {
 	r := Runner{E: sweep.New(0)}
-	if err := r.All(io.Discard); err != nil {
+	if err := r.All(context.Background(), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	first := r.E.Cache().Stats()
 	if first.PlanHits == 0 {
 		t.Error("figures share cells; expected plan cache hits within one suite run")
 	}
-	if err := r.All(io.Discard); err != nil {
+	if err := r.All(context.Background(), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	second := r.E.Cache().Stats()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -11,6 +12,21 @@ import (
 	"repro/internal/models"
 	"repro/internal/sweep"
 )
+
+// ParamError reports invalid scenario parameters: the caller's input is at
+// fault, as opposed to an execution failure. The HTTP layers map it to 422
+// Unprocessable Entity.
+type ParamError struct {
+	Scenario string
+	Msg      string
+}
+
+func (e *ParamError) Error() string { return e.Msg }
+
+// paramErrf builds a ParamError for the named scenario.
+func paramErrf(scenario, format string, args ...any) *ParamError {
+	return &ParamError{Scenario: scenario, Msg: fmt.Sprintf(format, args...)}
+}
 
 // ParamSpec describes one typed scenario parameter. Enum, when non-empty,
 // lists the accepted values (matched case-insensitively by the run
@@ -61,17 +77,27 @@ type Scenario struct {
 	// bareJSON scenarios marshal their data unwrapped ("all" is already a
 	// section map; "single" keeps its historical three-key shape).
 	bareJSON bool
-	run      func(r Runner, p Params, w io.Writer) (any, error)
+	run      func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error)
 }
 
 // Run validates p against the scenario's parameter specs, fills defaults,
-// and executes the scenario on r, rendering text to w when non-nil.
-func (s *Scenario) Run(r Runner, p Params, w io.Writer) (any, error) {
+// and executes the scenario on r, rendering text to w when non-nil. The
+// context flows into the sweep engine: cancelling it aborts the run promptly
+// (parameter errors are *ParamError; cancellations return ctx's error).
+func (s *Scenario) Run(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
 	resolved, err := s.resolve(p)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(r, resolved, w)
+	return s.run(ctx, r, resolved, w)
+}
+
+// Validate checks p against the scenario's parameter specs without running
+// anything — the submit path of the async jobs API vets requests up front so
+// invalid jobs are rejected synchronously.
+func (s *Scenario) Validate(p Params) error {
+	_, err := s.resolve(p)
+	return err
 }
 
 // JSONValue returns the value to marshal for -json / HTTP responses.
@@ -106,7 +132,7 @@ func (s *Scenario) resolve(p Params) (Params, error) {
 	for k, v := range p {
 		spec := s.spec(k)
 		if spec == nil {
-			return nil, fmt.Errorf("scenario %s: unknown param %q (have: %s)",
+			return nil, paramErrf(s.Name, "scenario %s: unknown param %q (have: %s)",
 				s.Name, k, strings.Join(s.paramNames(), ", "))
 		}
 		if v == "" {
@@ -114,7 +140,7 @@ func (s *Scenario) resolve(p Params) (Params, error) {
 		}
 		if spec.Type == "int" {
 			if _, err := strconv.Atoi(v); err != nil {
-				return nil, fmt.Errorf("scenario %s: param %s: %q is not an integer", s.Name, k, v)
+				return nil, paramErrf(s.Name, "scenario %s: param %s: %q is not an integer", s.Name, k, v)
 			}
 		}
 		if len(spec.Enum) > 0 {
@@ -124,7 +150,7 @@ func (s *Scenario) resolve(p Params) (Params, error) {
 			}
 			for _, val := range values {
 				if !inEnum(spec.Enum, val) {
-					return nil, fmt.Errorf("scenario %s: param %s: unknown value %q (have %s)",
+					return nil, paramErrf(s.Name, "scenario %s: param %s: unknown value %q (have %s)",
 						s.Name, k, val, strings.Join(spec.Enum, ", "))
 				}
 			}
@@ -246,15 +272,15 @@ func init() {
 		{
 			Name:        "fig3",
 			Description: "ResNet-50 per-layer footprint profile (Fig. 3)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig3(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig3(ctx, w)
 			},
 		},
 		{
 			Name:        "fig4",
 			Description: "ResNet-50 per-block data, minimal iterations, MBS grouping (Fig. 4)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig4(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig4(ctx, w)
 			},
 		},
 		{
@@ -262,8 +288,8 @@ func init() {
 			Description: "concrete MBS1/MBS2 schedules for one network (Fig. 5)",
 			Params: []ParamSpec{{Name: "network", Type: "string", Default: "resnet50",
 				Description: "network to schedule", Enum: models.Names()}},
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				scheds, err := r.Fig5(w, p["network"])
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				scheds, err := r.Fig5(ctx, w, p["network"])
 				if err != nil {
 					return nil, err
 				}
@@ -281,42 +307,42 @@ func init() {
 			Description: "per-step time, energy and DRAM traffic across configurations (Fig. 10)",
 			Params: []ParamSpec{{Name: "networks", Type: "list", Default: "",
 				Description: "comma-separated networks (empty = all six)"}},
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig10(w, p.List("networks")...)
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig10(ctx, w, p.List("networks")...)
 			},
 		},
 		{
 			Name:        "fig11",
 			Description: "ResNet-50 sensitivity to global buffer size (Fig. 11)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig11(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig11(ctx, w)
 			},
 		},
 		{
 			Name:        "fig12",
 			Description: "ResNet-50 memory-type sensitivity and time breakdown (Fig. 12)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig12(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig12(ctx, w)
 			},
 		},
 		{
 			Name:        "fig13",
 			Description: "NVIDIA V100 vs WaveCore+MBS2 per-step training time (Fig. 13)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig13(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig13(ctx, w)
 			},
 		},
 		{
 			Name:        "fig14",
 			Description: "systolic array utilization with unlimited DRAM bandwidth (Fig. 14)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
-				return r.Fig14(w), nil
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
+				return r.Fig14(ctx, w)
 			},
 		},
 		{
 			Name:        "table2",
 			Description: "accelerator specification comparison (Tab. 2)",
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
 				return r.Table2(w), nil
 			},
 		},
@@ -324,14 +350,14 @@ func init() {
 			Name:        "all",
 			Description: "the full simulator suite: Figs. 10-14 and Tab. 2 in paper order",
 			bareJSON:    true,
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
 				out := make(map[string]any, len(suiteNames))
 				for i, name := range suiteNames {
 					s, _ := Lookup(name)
 					if w != nil && i > 0 {
 						fmt.Fprintln(w)
 					}
-					data, err := s.Run(r, nil, w)
+					data, err := s.Run(ctx, r, nil, w)
 					if err != nil {
 						return nil, err
 					}
@@ -345,12 +371,12 @@ func init() {
 			Description: "simulate one (network, config, memory, batch, buffer) cell",
 			Params:      cellParams("resnet50"),
 			bareJSON:    true,
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
 				cell, err := cellFromParams(p)
 				if err != nil {
 					return nil, err
 				}
-				res, err := r.E.Simulate(cell)
+				res, err := r.E.Simulate(ctx, cell)
 				if err != nil {
 					return nil, err
 				}
@@ -374,7 +400,7 @@ func init() {
 			Params: append([]ParamSpec{{Name: "axes", Type: "list", Default: "buffer",
 				Description: "axes to sweep", Enum: []string{"network", "config", "memory", "batch", "buffer"}}},
 				cellParams("resnet50")...),
-			run: func(r Runner, p Params, w io.Writer) (any, error) {
+			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
 				cell, err := cellFromParams(p)
 				if err != nil {
 					return nil, err
@@ -401,17 +427,17 @@ func init() {
 					case "buffer":
 						grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
 					default:
-						return nil, fmt.Errorf("unknown sweep axis %q (have network, config, memory, batch, buffer)", axis)
+						return nil, paramErrf("sweep", "unknown sweep axis %q (have network, config, memory, batch, buffer)", axis)
 					}
 				}
 				if len(axes) == 0 {
-					return nil, fmt.Errorf("sweep needs at least one axis")
+					return nil, paramErrf("sweep", "sweep needs at least one axis")
 				}
 				if len(grid.Networks) == 1 && grid.Networks[0] == "" {
-					return nil, fmt.Errorf("sweep needs a network param or the network axis")
+					return nil, paramErrf("sweep", "sweep needs a network param or the network axis")
 				}
 				cells := grid.Cells()
-				results, err := r.E.SimulateGrid(cells)
+				results, err := r.E.SimulateGrid(ctx, cells)
 				if err != nil {
 					return nil, err
 				}
@@ -460,9 +486,9 @@ func Infos() []Info {
 
 // All regenerates the full suite, sections separated by blank lines —
 // exactly as `mbsim -all` prints it.
-func (r Runner) All(w io.Writer) error {
+func (r Runner) All(ctx context.Context, w io.Writer) error {
 	s, _ := Lookup("all")
-	_, err := s.Run(r, nil, w)
+	_, err := s.Run(ctx, r, nil, w)
 	return err
 }
 

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -34,7 +36,7 @@ func TestRegistryNamesAndLookup(t *testing.T) {
 func TestScenarioRejectsUnknownParam(t *testing.T) {
 	s, _ := Lookup("fig5")
 	r := Runner{E: sweep.New(1)}
-	if _, err := s.Run(r, Params{"nonsense": "x"}, io.Discard); err == nil ||
+	if _, err := s.Run(context.Background(), r, Params{"nonsense": "x"}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "unknown param") {
 		t.Errorf("err = %v, want unknown-param error", err)
 	}
@@ -43,7 +45,7 @@ func TestScenarioRejectsUnknownParam(t *testing.T) {
 func TestScenarioRejectsBadInt(t *testing.T) {
 	s, _ := Lookup("single")
 	r := Runner{E: sweep.New(1)}
-	if _, err := s.Run(r, Params{"batch": "many"}, io.Discard); err == nil ||
+	if _, err := s.Run(context.Background(), r, Params{"batch": "many"}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "not an integer") {
 		t.Errorf("err = %v, want integer error", err)
 	}
@@ -52,18 +54,18 @@ func TestScenarioRejectsBadInt(t *testing.T) {
 func TestScenarioRejectsEnumViolation(t *testing.T) {
 	r := Runner{E: sweep.New(1)}
 	single, _ := Lookup("single")
-	if _, err := single.Run(r, Params{"network": "vgg16"}, io.Discard); err == nil ||
+	if _, err := single.Run(context.Background(), r, Params{"network": "vgg16"}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "unknown value") {
 		t.Errorf("err = %v, want enum error", err)
 	}
 	// Enum matching is case-insensitive, like the run functions' parsing.
-	if _, err := single.Run(r, Params{"config": "mbs2"}, io.Discard); err != nil {
+	if _, err := single.Run(context.Background(), r, Params{"config": "mbs2"}, io.Discard); err != nil {
 		t.Errorf("lowercase config rejected: %v", err)
 	}
 	// An empty value means "use the default" (the legacy -sweep flags pass
 	// empty fixed values for unset flags).
 	sw, _ := Lookup("sweep")
-	if _, err := sw.Run(r, Params{"network": "", "axes": "config"}, io.Discard); err != nil {
+	if _, err := sw.Run(context.Background(), r, Params{"network": "", "axes": "config"}, io.Discard); err != nil {
 		t.Errorf("empty network with default: %v", err)
 	}
 }
@@ -73,10 +75,10 @@ func TestScenarioDefaultsApplied(t *testing.T) {
 	s, _ := Lookup("fig5")
 	r := Runner{E: sweep.New(1)}
 	var a, b bytes.Buffer
-	if _, err := s.Run(r, nil, &a); err != nil {
+	if _, err := s.Run(context.Background(), r, nil, &a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Run(r, Params{"network": "resnet50"}, &b); err != nil {
+	if _, err := s.Run(context.Background(), r, Params{"network": "resnet50"}, &b); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
@@ -87,7 +89,7 @@ func TestScenarioDefaultsApplied(t *testing.T) {
 func TestScenarioParamsChangeOutput(t *testing.T) {
 	s, _ := Lookup("fig10")
 	r := Runner{E: sweep.New(0)}
-	data, err := s.Run(r, Params{"networks": "alexnet"}, nil)
+	data, err := s.Run(context.Background(), r, Params{"networks": "alexnet"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestSweepScenarioRejectsBadAxis(t *testing.T) {
 	// The axes enum rejects unknown axes at resolve time, before execution.
 	s, _ := Lookup("sweep")
 	r := Runner{E: sweep.New(1)}
-	if _, err := s.Run(r, Params{"axes": "frequency"}, io.Discard); err == nil ||
+	if _, err := s.Run(context.Background(), r, Params{"axes": "frequency"}, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "unknown value") {
 		t.Errorf("err = %v, want enum rejection", err)
 	}
@@ -154,7 +156,7 @@ func TestSweepScenarioRejectsBadAxis(t *testing.T) {
 func TestAllMatchesSuiteSections(t *testing.T) {
 	r := Runner{E: sweep.New(0)}
 	s, _ := Lookup("all")
-	data, err := s.Run(r, nil, nil)
+	data, err := s.Run(context.Background(), r, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,5 +171,54 @@ func TestAllMatchesSuiteSections(t *testing.T) {
 	}
 	if len(sections) != 6 {
 		t.Errorf("all has %d sections, want 6", len(sections))
+	}
+}
+
+// TestParamErrorsAreTyped: every validation failure surfaces as a
+// *ParamError so the HTTP layer can map it to 422 without string matching.
+func TestParamErrorsAreTyped(t *testing.T) {
+	r := Runner{E: sweep.New(1)}
+	cases := []struct {
+		scenario string
+		params   Params
+	}{
+		{"fig5", Params{"nonsense": "x"}},
+		{"single", Params{"batch": "many"}},
+		{"single", Params{"network": "vgg16"}},
+		{"sweep", Params{"axes": "frequency"}},
+	}
+	for _, c := range cases {
+		s, _ := Lookup(c.scenario)
+		_, err := s.Run(context.Background(), r, c.params, io.Discard)
+		var pe *ParamError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s %v: err = %T (%v), want *ParamError", c.scenario, c.params, err, err)
+			continue
+		}
+		if pe.Scenario != c.scenario {
+			t.Errorf("%s: ParamError.Scenario = %q", c.scenario, pe.Scenario)
+		}
+		if verr := s.Validate(c.params); !errors.As(verr, &pe) {
+			t.Errorf("%s: Validate err = %T, want *ParamError", c.scenario, verr)
+		}
+	}
+	// Valid params pass Validate without running anything.
+	s, _ := Lookup("single")
+	if err := s.Validate(Params{"network": "alexnet", "batch": "16"}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+// TestScenarioRunCancelled: a dead context aborts a scenario with the
+// context's error.
+func TestScenarioRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{E: sweep.New(2)}
+	for _, name := range []string{"fig10", "sweep", "all"} {
+		s, _ := Lookup(name)
+		if _, err := s.Run(ctx, r, nil, io.Discard); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
 	}
 }

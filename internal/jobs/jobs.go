@@ -1,0 +1,433 @@
+// Package jobs is the asynchronous execution layer of the v2 API: a
+// scenario run becomes a submitted job with an id, observable state
+// (queued → running → done/failed/cancelled), an incremental stream of
+// completed sweep cells, and a cancel operation that frees the job's
+// execution slot long before the run would have finished.
+//
+// The manager is generic over its executor, so the HTTP surface and its
+// lifecycle semantics are testable with a fully controllable fake while the
+// service wires in the real scenario registry. Execution slots are shared
+// with the synchronous /v1/run path through one semaphore channel: v1 and
+// v2 work cannot oversubscribe the engine together.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Request names a scenario run to execute asynchronously.
+type Request struct {
+	Scenario string            `json:"scenario"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// Exec runs one job. It must honour ctx promptly — cancellation is how
+// DELETE frees the job's slot — and call emit for each completed sweep cell
+// (emit is safe to call from multiple goroutines). The returned bytes are
+// the job's rendered JSON result.
+type Exec func(ctx context.Context, req Request, emit func(index int, cell string, row any)) ([]byte, error)
+
+// Config assembles a Manager.
+type Config struct {
+	// Exec executes a job's scenario. Required.
+	Exec Exec
+	// Validate vets a request at submit time so bad submissions fail the
+	// POST synchronously instead of producing a failed job. Return an
+	// *api.Error for a mapped HTTP status. Optional.
+	Validate func(Request) error
+	// Slots, when non-nil, is the shared execution-slot semaphore: a job
+	// holds one slot from the moment it leaves the queue until its executor
+	// returns. Nil means unbounded execution.
+	Slots chan struct{}
+	// MaxRetained bounds terminal jobs kept for status queries; the oldest
+	// finished jobs are dropped first (running and queued jobs are never
+	// dropped). 0 selects 256.
+	MaxRetained int
+	// MaxPending bounds jobs that are queued or running; submissions past
+	// the bound are rejected with 503. 0 selects 1024.
+	MaxPending int
+}
+
+// Manager owns the job table and lifecycle.
+type Manager struct {
+	cfg  Config
+	base context.Context
+	stop context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for retention eviction
+	seq    int64
+	closed bool
+
+	wg            sync.WaitGroup
+	queueDepth    atomic.Int64 // jobs waiting for an execution slot
+	submitted     atomic.Int64
+	cancellations atomic.Int64
+}
+
+// NewManager builds a Manager from cfg.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxRetained <= 0 {
+		cfg.MaxRetained = 256
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{cfg: cfg, base: ctx, stop: cancel, jobs: make(map[string]*job)}
+}
+
+// Close cancels every live job and waits for their executors to return.
+// Further submissions are rejected.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+}
+
+// job is one submitted run. All mutable fields live under mu; update is
+// closed and replaced on every mutation so streamers can wait for changes
+// without polling.
+type job struct {
+	id     string
+	req    Request
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     api.JobState
+	errMsg    string
+	code      string
+	result    []byte
+	cells     []api.Event // completed-cell events, in completion order
+	update    chan struct{}
+	submitted time.Time
+	started   *time.Time
+	finished  *time.Time
+}
+
+// broadcastLocked wakes every waiter; callers hold j.mu.
+func (j *job) broadcastLocked() {
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// statusLocked snapshots the job; callers hold j.mu.
+func (j *job) statusLocked(withResult bool) api.JobStatus {
+	st := api.JobStatus{
+		ID:             j.id,
+		Scenario:       j.req.Scenario,
+		Params:         j.req.Params,
+		State:          j.state,
+		Error:          j.errMsg,
+		Code:           j.code,
+		CellsCompleted: len(j.cells),
+		SubmittedAt:    j.submitted,
+		StartedAt:      j.started,
+		FinishedAt:     j.finished,
+	}
+	if withResult {
+		st.Result = j.result
+	}
+	return st
+}
+
+func (j *job) status(withResult bool) api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked(withResult)
+}
+
+// currentState reads just the lifecycle state — the manager's bookkeeping
+// scans (pending count, eviction) run under m.mu and need no full snapshot.
+func (j *job) currentState() api.JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// snapshotFrom returns the cell events at index >= from, the current
+// status, and a channel that closes on the job's next mutation.
+func (j *job) snapshotFrom(from int) ([]api.Event, api.JobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var events []api.Event
+	if from < len(j.cells) {
+		events = append(events, j.cells[from:]...)
+	}
+	return events, j.statusLocked(false), j.update
+}
+
+// emit records one completed sweep cell. Late emits from an executor that
+// has not yet observed its cancelled context are dropped once the job is
+// terminal, so a cancelled job's stream never grows after its done event.
+func (j *job) emit(index int, cell string, row any) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.cells = append(j.cells, api.Event{Type: "cell", Index: index, Cell: cell, Row: row})
+	j.broadcastLocked()
+}
+
+// start transitions queued → running; false if the job was already
+// cancelled.
+func (j *job) start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != api.JobQueued {
+		return false
+	}
+	now := time.Now()
+	j.state = api.JobRunning
+	j.started = &now
+	j.broadcastLocked()
+	return true
+}
+
+// Submit validates and enqueues a job, returning its initial status. The
+// error, if any, is an *api.Error carrying the HTTP status to report.
+func (m *Manager) Submit(req Request) (api.JobStatus, error) {
+	if m.cfg.Validate != nil {
+		if err := m.cfg.Validate(req); err != nil {
+			return api.JobStatus{}, err
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return api.JobStatus{}, api.Errorf(http.StatusServiceUnavailable,
+			api.CodeUnavailable, req.Scenario, "job manager is shut down")
+	}
+	if pending := m.pendingLocked(); pending >= m.cfg.MaxPending {
+		m.mu.Unlock()
+		return api.JobStatus{}, api.Errorf(http.StatusServiceUnavailable,
+			api.CodeUnavailable, req.Scenario, "job queue full (%d pending)", pending)
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(m.base)
+	j := &job{
+		id:        "job-" + strconv.FormatInt(m.seq, 10),
+		req:       req,
+		cancel:    cancel,
+		state:     api.JobQueued,
+		update:    make(chan struct{}),
+		submitted: time.Now(),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	// The Add must happen under the same lock as the closed check: Close
+	// sets closed then waits, so it either rejects this submission or sees
+	// its counter increment — never a wg.Add racing wg.Wait.
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.submitted.Add(1)
+	go m.run(ctx, j)
+	return j.status(false), nil
+}
+
+// pendingLocked counts non-terminal jobs; callers hold m.mu.
+func (m *Manager) pendingLocked() int {
+	n := 0
+	for _, j := range m.jobs {
+		if !j.currentState().Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// evictLocked drops the oldest terminal jobs past the retention bound;
+// callers hold m.mu. Only terminal jobs count against (and are dropped
+// for) the bound: a burst of live jobs must not flush freshly finished
+// results before their submitters collect them.
+func (m *Manager) evictLocked() {
+	terminal := 0
+	for _, j := range m.jobs {
+		if j.currentState().Terminal() {
+			terminal++
+		}
+	}
+	for terminal > m.cfg.MaxRetained {
+		dropped := false
+		for i, id := range m.order {
+			j, ok := m.jobs[id]
+			if !ok {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				dropped = true
+				break
+			}
+			if j.currentState().Terminal() {
+				delete(m.jobs, id)
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				terminal--
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return
+		}
+	}
+}
+
+// run drives one job: slot acquisition (the queued phase), execution, and
+// the terminal transition. Every exit path ends with an eviction pass so
+// the terminal-job bound holds as jobs finish, not only at submit time.
+func (m *Manager) run(ctx context.Context, j *job) {
+	defer m.wg.Done()
+	defer func() {
+		m.mu.Lock()
+		m.evictLocked()
+		m.mu.Unlock()
+	}()
+	defer j.cancel()
+	if m.cfg.Slots != nil {
+		m.queueDepth.Add(1)
+		select {
+		case m.cfg.Slots <- struct{}{}:
+			m.queueDepth.Add(-1)
+		case <-ctx.Done():
+			m.queueDepth.Add(-1)
+			m.finish(j, nil, ctx.Err())
+			return
+		}
+		defer func() { <-m.cfg.Slots }()
+	}
+	if !j.start() {
+		return // cancelled while queued; Cancel already finalized the state
+	}
+	result, err := m.cfg.Exec(ctx, j.req, j.emit)
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err() // executor won a race with cancellation; cancel wins
+	}
+	m.finish(j, result, err)
+}
+
+// finish applies the terminal transition unless Cancel got there first.
+func (m *Manager) finish(j *job, result []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	now := time.Now()
+	j.finished = &now
+	switch {
+	case err == nil:
+		j.state = api.JobDone
+		j.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = api.JobCancelled
+		j.errMsg = "cancelled"
+		j.code = api.CodeCancelled
+		m.cancellations.Add(1)
+	default:
+		j.state = api.JobFailed
+		j.errMsg = err.Error()
+		j.code = api.CodeRunFailed
+	}
+	j.broadcastLocked()
+}
+
+// lookup finds a job by id.
+func (m *Manager) lookup(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Get returns a job's status, including its result when done.
+func (m *Manager) Get(id string) (api.JobStatus, bool) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return api.JobStatus{}, false
+	}
+	return j.status(true), true
+}
+
+// Cancel transitions a live job to cancelled — synchronously, so the DELETE
+// response already reports the cancelled state — and cancels its context,
+// which aborts the executor and frees its slot. Cancelling a terminal job
+// is a no-op returning the unchanged status.
+func (m *Manager) Cancel(id string) (api.JobStatus, bool) {
+	j, ok := m.lookup(id)
+	if !ok {
+		return api.JobStatus{}, false
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		now := time.Now()
+		j.state = api.JobCancelled
+		j.errMsg = "cancelled"
+		j.code = api.CodeCancelled
+		j.finished = &now
+		m.cancellations.Add(1)
+		j.broadcastLocked()
+	}
+	st := j.statusLocked(false)
+	j.mu.Unlock()
+	j.cancel()
+	return st, true
+}
+
+// List returns every retained job's status (without results) in submission
+// order.
+func (m *Manager) List() []api.JobStatus {
+	m.mu.Lock()
+	js := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			js = append(js, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]api.JobStatus, len(js))
+	for i, j := range js {
+		out[i] = j.status(false)
+	}
+	return out
+}
+
+// Stats is the jobs section of /v1/stats and /v2/stats.
+type Stats struct {
+	// Submitted counts every job ever accepted.
+	Submitted int64 `json:"submitted"`
+	// QueueDepth is the number of jobs currently waiting for a slot.
+	QueueDepth int64 `json:"queue_depth"`
+	// Cancellations counts jobs that reached the cancelled state.
+	Cancellations int64 `json:"cancellations"`
+	// ByState counts the retained jobs per lifecycle state.
+	ByState map[api.JobState]int `json:"by_state"`
+	// Retained is the number of jobs currently held for status queries.
+	Retained int `json:"retained"`
+}
+
+// Stats snapshots the manager's counters.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		Submitted:     m.submitted.Load(),
+		QueueDepth:    m.queueDepth.Load(),
+		Cancellations: m.cancellations.Load(),
+		ByState:       make(map[api.JobState]int),
+	}
+	for _, s := range m.List() {
+		st.ByState[s.State]++
+		st.Retained++
+	}
+	return st
+}

@@ -9,27 +9,42 @@
 //	GET  /v1/scenarios  the scenario registry (names, params, descriptions)
 //	POST /v1/run        execute a scenario; JSON responses are byte-identical
 //	                    to `mbsim -scenario <name> -json`
-//	GET  /v1/stats      build identity, cache and serving counters
+//	GET  /v1/stats      build identity, cache, serving and job counters
+//	GET  /v2/jobs...    the asynchronous job API (see internal/jobs): submit,
+//	                    status/result, cancel, and NDJSON cell streaming
+//	GET  /v2/scenarios  alias of /v1/scenarios
+//	GET  /v2/stats      alias of /v1/stats
 //	GET  /debug/pprof/  the standard Go profiling endpoints
 //
-// Execution concurrency is bounded: at most MaxInFlight scenario runs
-// execute at once, excess requests queue until a slot frees or the client
-// gives up. Responses are rendered to a buffer before the first byte is
-// written, so an error never produces a half-written 200.
+// Execution is context-aware end to end: a synchronous /v1/run inherits its
+// request's context, so a client that disconnects mid-sweep frees its
+// engine worker slot instead of burning it to completion, and v2 jobs carry
+// their own cancellable contexts shared with the same slot semaphore.
+// Errors are structured — {"error": ..., "scenario": ..., "code": ...} —
+// with 400 for malformed requests, 404 for unknown scenarios/jobs, 422 for
+// invalid params, and 503 when queueing is abandoned or the queue is full.
+//
+// Execution concurrency is bounded: at most MaxInFlight scenario runs (v1
+// and v2 combined) execute at once; excess work queues until a slot frees
+// or the client gives up. Responses are rendered to a buffer before the
+// first byte is written, so an error never produces a half-written 200.
 package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 
+	"repro/internal/api"
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -40,23 +55,28 @@ type Config struct {
 	Workers int
 	// CacheMaxBytes bounds the engine cache (0 = unbounded).
 	CacheMaxBytes int64
-	// MaxInFlight caps concurrently executing scenario runs
-	// (0 = 2*GOMAXPROCS).
+	// MaxInFlight caps concurrently executing scenario runs, v1 and v2
+	// combined (0 = 2*GOMAXPROCS).
 	MaxInFlight int
+	// MaxRetainedJobs bounds terminal v2 jobs kept for status queries
+	// (0 = the jobs package default).
+	MaxRetainedJobs int
 }
 
 // Server executes registry scenarios on one shared engine.
 type Server struct {
 	engine      *sweep.Engine
 	runner      experiments.Runner
+	jobs        *jobs.Manager
 	sem         chan struct{}
 	maxInFlight int
-	inFlight    atomic.Int64
+	queueWait   atomic.Int64 // v1 requests waiting for a slot
 	served      atomic.Int64
 	failed      atomic.Int64
+	cancelled   atomic.Int64 // v1 runs abandoned by their client
 }
 
-// New builds a server (and its engine) from cfg.
+// New builds a server (and its engine and job manager) from cfg.
 func New(cfg Config) *Server {
 	e := sweep.New(cfg.Workers)
 	if cfg.CacheMaxBytes > 0 {
@@ -66,16 +86,33 @@ func New(cfg Config) *Server {
 	if maxInFlight <= 0 {
 		maxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		engine:      e,
 		runner:      experiments.Runner{E: e},
 		sem:         make(chan struct{}, maxInFlight),
 		maxInFlight: maxInFlight,
 	}
+	s.jobs = jobs.NewManager(jobs.Config{
+		Exec:        s.execJob,
+		Validate:    validateRequest,
+		Slots:       s.sem,
+		MaxRetained: cfg.MaxRetainedJobs,
+	})
+	return s
 }
 
 // Engine returns the shared sweep engine (the tests inspect its cache).
 func (s *Server) Engine() *sweep.Engine { return s.engine }
+
+// Jobs returns the v2 job manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close cancels every live job and waits for their executors to return.
+// mbsd calls it before http.Server.Shutdown: cancelling jobs first closes
+// their streams, so the drain has no long-lived connections left to wait
+// on (a job allowed to outlive the drain window would be killed with the
+// process anyway).
+func (s *Server) Close() { s.jobs.Close() }
 
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
@@ -83,12 +120,57 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.jobs.Routes(mux)
+	mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v2/stats", s.handleStats)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// validateRequest vets a v2 submission synchronously: unknown scenarios are
+// 404s and invalid params 422s at POST time, never failed jobs.
+func validateRequest(req jobs.Request) error {
+	sc, ok := experiments.Lookup(req.Scenario)
+	if !ok {
+		return unknownScenario(req.Scenario)
+	}
+	if err := sc.Validate(experiments.Params(req.Params)); err != nil {
+		return api.Errorf(http.StatusUnprocessableEntity, api.CodeInvalidParams,
+			req.Scenario, "%s", err)
+	}
+	return nil
+}
+
+// execJob runs one v2 job on the shared engine. The cell observer threads
+// each completed sweep cell to the job's stream while the grid is still
+// running; the returned bytes are exactly what POST /v1/run would return
+// for the same scenario and params.
+func (s *Server) execJob(ctx context.Context, req jobs.Request, emit func(int, string, any)) ([]byte, error) {
+	sc, ok := experiments.Lookup(req.Scenario)
+	if !ok {
+		return nil, unknownScenario(req.Scenario) // unreachable: validated at submit
+	}
+	ctx = sweep.WithCellObserver(ctx, func(i int, cell sweep.Cell, row sweep.Row) {
+		emit(i, cell.String(), row)
+	})
+	data, err := sc.Run(ctx, s.runner, experiments.Params(req.Params), nil)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, sc.JSONValue(data)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func unknownScenario(name string) *api.Error {
+	return api.Errorf(http.StatusNotFound, api.CodeUnknownScenario, name,
+		"unknown scenario %q (GET /v1/scenarios lists the registry)", name)
 }
 
 // RunRequest is the POST /v1/run body.
@@ -100,15 +182,24 @@ type RunRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
-// StatsResponse is the GET /v1/stats body.
+// StatsResponse is the GET /v1/stats (and /v2/stats) body.
 type StatsResponse struct {
 	Build       buildinfo.Info `json:"build"`
 	Workers     int            `json:"workers"`
 	MaxInFlight int            `json:"max_in_flight"`
-	InFlight    int64          `json:"in_flight"`
-	Served      int64          `json:"served"`
-	Failed      int64          `json:"failed"`
-	Cache       CacheStats     `json:"cache"`
+	// InFlight is the number of execution slots currently held — by v1
+	// runs and v2 jobs alike, since both draw on one semaphore.
+	InFlight int64 `json:"in_flight"`
+	// QueueDepth counts work waiting for an execution slot: v1 requests
+	// plus queued v2 jobs.
+	QueueDepth int64 `json:"queue_depth"`
+	Served     int64 `json:"served"`
+	Failed     int64 `json:"failed"`
+	// Cancelled counts v1 runs abandoned by their client (while queued or
+	// mid-run); v2 job cancellations are under Jobs.Cancellations.
+	Cancelled int64      `json:"cancelled"`
+	Jobs      jobs.Stats `json:"jobs"`
+	Cache     CacheStats `json:"cache"`
 }
 
 // CacheStats is the JSON form of sweep.Stats.
@@ -130,16 +221,20 @@ type TableStats struct {
 	Evictions int64 `json:"evictions"`
 }
 
-// Stats snapshots the serving and cache counters.
+// Stats snapshots the serving, job and cache counters.
 func (s *Server) Stats() StatsResponse {
 	st := s.engine.Cache().Stats()
+	js := s.jobs.Stats()
 	return StatsResponse{
 		Build:       buildinfo.Get(),
 		Workers:     s.engine.Workers(),
 		MaxInFlight: s.maxInFlight,
-		InFlight:    s.inFlight.Load(),
+		InFlight:    int64(len(s.sem)),
+		QueueDepth:  s.queueWait.Load() + js.QueueDepth,
 		Served:      s.served.Load(),
 		Failed:      s.failed.Load(),
+		Cancelled:   s.cancelled.Load(),
+		Jobs:        js,
 		Cache: CacheStats{
 			Hits: st.Hits(), Misses: st.Misses(), Evictions: st.Evictions(),
 			HitRate: st.HitRate(), Bytes: st.Bytes, MaxBytes: st.MaxBytes,
@@ -153,61 +248,73 @@ func (s *Server) Stats() StatsResponse {
 }
 
 func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, experiments.Infos())
+	api.WriteJSON(w, http.StatusOK, experiments.Infos())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	api.WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req RunRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "",
+			"bad request body: %s", err))
 		return
 	}
 	sc, ok := experiments.Lookup(req.Scenario)
 	if !ok {
-		s.fail(w, http.StatusNotFound,
-			fmt.Errorf("unknown scenario %q (GET /v1/scenarios lists the registry)", req.Scenario))
+		s.fail(w, unknownScenario(req.Scenario))
 		return
 	}
 	if req.Format != "" && req.Format != "json" && req.Format != "text" {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (have json, text)", req.Format))
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, req.Scenario,
+			"unknown format %q (have json, text)", req.Format))
+		return
+	}
+	// Validate params before queueing so a bad request never costs a slot.
+	if err := sc.Validate(experiments.Params(req.Params)); err != nil {
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInvalidParams,
+			req.Scenario, "%s", err))
 		return
 	}
 
 	// Bounded in-flight execution: queue for a slot, bail if the client
 	// disconnects while waiting.
+	s.queueWait.Add(1)
 	select {
 	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("cancelled while queued"))
+		s.queueWait.Add(-1)
+	case <-ctx.Done():
+		s.queueWait.Add(-1)
+		// Counted as cancelled, not failed: an abandoned client is not a
+		// scenario failure, and operators read the two counters separately.
+		s.cancelled.Add(1)
+		api.Write(w, api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable,
+			req.Scenario, "cancelled while queued"))
 		return
 	}
-	s.inFlight.Add(1)
-	defer func() {
-		s.inFlight.Add(-1)
-		<-s.sem
-	}()
+	defer func() { <-s.sem }()
 
 	var body bytes.Buffer
 	if req.Format == "text" {
-		if _, err := sc.Run(s.runner, req.Params, &body); err != nil {
-			s.fail(w, http.StatusBadRequest, err)
+		if _, err := sc.Run(ctx, s.runner, experiments.Params(req.Params), &body); err != nil {
+			s.failRun(w, req.Scenario, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	} else {
-		data, err := sc.Run(s.runner, req.Params, nil)
+		data, err := sc.Run(ctx, s.runner, experiments.Params(req.Params), nil)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, err)
+			s.failRun(w, req.Scenario, err)
 			return
 		}
 		// The same renderer mbsim -json uses: responses are byte-identical
 		// to the CLI by construction.
 		if err := report.WriteJSON(&body, sc.JSONValue(data)); err != nil {
-			s.fail(w, http.StatusInternalServerError, err)
+			s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+				req.Scenario, "%s", err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -217,14 +324,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	_, _ = body.WriteTo(w)
 }
 
-// fail records and writes a JSON error response.
-func (s *Server) fail(w http.ResponseWriter, code int, err error) {
-	s.failed.Add(1)
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// failRun maps a scenario execution error: a cancelled request frees its
+// slot and reports 503 (the client is gone anyway) under the cancelled
+// counter only — not failed — parameter errors that surfaced at run time
+// map to 422, anything else is a 400 run failure.
+func (s *Server) failRun(w http.ResponseWriter, scenario string, err error) {
+	var pe *experiments.ParamError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+		api.Write(w, api.Errorf(http.StatusServiceUnavailable, api.CodeCancelled,
+			scenario, "run cancelled"))
+	case errors.As(err, &pe):
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInvalidParams,
+			scenario, "%s", err))
+	default:
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeRunFailed,
+			scenario, "%s", err))
+	}
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = report.WriteJSON(w, v)
+// fail records and writes a structured JSON error response.
+func (s *Server) fail(w http.ResponseWriter, e *api.Error) {
+	s.failed.Add(1)
+	api.Write(w, e)
 }

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -128,6 +129,13 @@ func (b *budget) snapshot() (cur, max int64) {
 // distinct invalid keys (e.g. unknown network names over the HTTP API)
 // cannot grow the table — error entries would be invisible to the byte
 // budget, which only accounts successful builds.
+//
+// Builds are detached from their callers: the first requester of a key
+// starts the build in its own goroutine and every caller — including that
+// first one — just waits for it, so a waiter whose context is cancelled
+// abandons the wait immediately without cancelling the build for the other
+// waiters, and the finished artifact still lands in the cache for future
+// requests. A cancelled waiter therefore cannot poison the shared entry.
 type memo[K comparable, V any] struct {
 	mu        sync.Mutex
 	m         map[K]*memoEntry[V]
@@ -137,7 +145,7 @@ type memo[K comparable, V any] struct {
 }
 
 type memoEntry[V any] struct {
-	once sync.Once
+	done chan struct{} // closed once val/err (and node) are final
 	val  V
 	err  error
 	node *lruNode // nil for error results and unbudgeted tables
@@ -145,15 +153,16 @@ type memoEntry[V any] struct {
 
 // get returns the cached value for k, building it at most once. Successful
 // builds are charged cost(val) bytes against b; evicted keys rebuild on next
-// use (counted as a fresh miss).
-func (mm *memo[K, V]) get(b *budget, k K, cost func(V) int64, build func() (V, error)) (V, error) {
+// use (counted as a fresh miss). If ctx is cancelled while the build is in
+// flight, get returns ctx.Err() and the build continues for other waiters.
+func (mm *memo[K, V]) get(ctx context.Context, b *budget, k K, cost func(V) int64, build func() (V, error)) (V, error) {
 	mm.mu.Lock()
 	if mm.m == nil {
 		mm.m = make(map[K]*memoEntry[V])
 	}
 	e, ok := mm.m[k]
 	if !ok {
-		e = new(memoEntry[V])
+		e = &memoEntry[V]{done: make(chan struct{})}
 		mm.m[k] = e
 	}
 	mm.mu.Unlock()
@@ -161,32 +170,39 @@ func (mm *memo[K, V]) get(b *budget, k K, cost func(V) int64, build func() (V, e
 		mm.hits.Add(1)
 	} else {
 		mm.misses.Add(1)
+		go func() {
+			defer close(e.done)
+			e.val, e.err = build()
+			if e.err != nil {
+				// Drop the failed entry (waiters already holding e still share
+				// the error); the guard keeps a concurrent rebuild's entry safe.
+				mm.mu.Lock()
+				if mm.m[k] == e {
+					delete(mm.m, k)
+				}
+				mm.mu.Unlock()
+				return
+			}
+			e.node = &lruNode{cost: cost(e.val), drop: func() {
+				// Only unmap if k still resolves to this entry: a key can be
+				// evicted and rebuilt while the stale node sits in the list.
+				mm.mu.Lock()
+				if mm.m[k] == e {
+					delete(mm.m, k)
+				}
+				mm.mu.Unlock()
+				mm.evictions.Add(1)
+			}}
+			b.insert(e.node)
+		}()
 	}
-	e.once.Do(func() {
-		e.val, e.err = build()
-		if e.err != nil {
-			// Drop the failed entry (waiters already holding e still share
-			// the error); the guard keeps a concurrent rebuild's entry safe.
-			mm.mu.Lock()
-			if mm.m[k] == e {
-				delete(mm.m, k)
-			}
-			mm.mu.Unlock()
-			return
-		}
-		e.node = &lruNode{cost: cost(e.val), drop: func() {
-			// Only unmap if k still resolves to this entry: a key can be
-			// evicted and rebuilt while the stale node sits in the list.
-			mm.mu.Lock()
-			if mm.m[k] == e {
-				delete(mm.m, k)
-			}
-			mm.mu.Unlock()
-			mm.evictions.Add(1)
-		}}
-		b.insert(e.node)
-	})
-	// once.Do orders this read after the build, so e.node is safe to touch.
+	select {
+	case <-e.done:
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+	// The done close orders this read after the build, so e.node is safe.
 	if ok && e.node != nil {
 		b.touch(e.node)
 	}
@@ -235,16 +251,19 @@ func costTraffic(t *core.Traffic) int64 {
 }
 
 // Network returns the built network for name, constructing it on first use.
-func (c *Cache) Network(name string) (*graph.Network, error) {
-	return c.nets.get(&c.bud, name, costNetwork, func() (*graph.Network, error) {
+func (c *Cache) Network(ctx context.Context, name string) (*graph.Network, error) {
+	return c.nets.get(ctx, &c.bud, name, costNetwork, func() (*graph.Network, error) {
 		return models.Build(name)
 	})
 }
 
 // Plan returns the MBS schedule for (network, opts), planning on first use.
-func (c *Cache) Plan(network string, opts core.Options) (*core.Schedule, error) {
-	return c.plans.get(&c.bud, planKey{network, opts}, costSchedule, func() (*core.Schedule, error) {
-		net, err := c.Network(network)
+// Nested artifact lookups inside the build run under context.Background():
+// once started a build always completes (and caches), whatever happens to
+// the caller that triggered it.
+func (c *Cache) Plan(ctx context.Context, network string, opts core.Options) (*core.Schedule, error) {
+	return c.plans.get(ctx, &c.bud, planKey{network, opts}, costSchedule, func() (*core.Schedule, error) {
+		net, err := c.Network(context.Background(), network)
 		if err != nil {
 			return nil, err
 		}
@@ -254,9 +273,9 @@ func (c *Cache) Plan(network string, opts core.Options) (*core.Schedule, error) 
 
 // Traffic returns the traffic ledger for (network, opts), walking the
 // schedule on first use.
-func (c *Cache) Traffic(network string, opts core.Options) (*core.Traffic, error) {
-	return c.ledgers.get(&c.bud, planKey{network, opts}, costTraffic, func() (*core.Traffic, error) {
-		s, err := c.Plan(network, opts)
+func (c *Cache) Traffic(ctx context.Context, network string, opts core.Options) (*core.Traffic, error) {
+	return c.ledgers.get(ctx, &c.bud, planKey{network, opts}, costTraffic, func() (*core.Traffic, error) {
+		s, err := c.Plan(context.Background(), network, opts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -26,7 +28,7 @@ func TestMemoSingleflight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			v, err := mm.get(&b, "key", func(int) int64 { return 1 }, func() (int, error) {
+			v, err := mm.get(context.Background(), &b, "key", func(int) int64 { return 1 }, func() (int, error) {
 				builds++ // safe: a second builder for one key would race here
 				time.Sleep(time.Millisecond)
 				return 42, nil
@@ -63,20 +65,20 @@ func TestMemoLRUEviction(t *testing.T) {
 	build := func(v string) func() (string, error) {
 		return func() (string, error) { return v, nil }
 	}
-	mm.get(&b, "a", unit, build("A"))
-	mm.get(&b, "b", unit, build("B"))
-	mm.get(&b, "a", unit, build("A")) // touch a: b is now coldest
-	mm.get(&b, "c", unit, build("C")) // evicts b
+	mm.get(context.Background(), &b, "a", unit, build("A"))
+	mm.get(context.Background(), &b, "b", unit, build("B"))
+	mm.get(context.Background(), &b, "a", unit, build("A")) // touch a: b is now coldest
+	mm.get(context.Background(), &b, "c", unit, build("C")) // evicts b
 	if ev := mm.evictions.Load(); ev != 1 {
 		t.Fatalf("evictions = %d, want 1", ev)
 	}
 	misses := mm.misses.Load()
-	mm.get(&b, "a", unit, build("A"))
-	mm.get(&b, "c", unit, build("C"))
+	mm.get(context.Background(), &b, "a", unit, build("A"))
+	mm.get(context.Background(), &b, "c", unit, build("C"))
 	if mm.misses.Load() != misses {
 		t.Error("a and c should still be cached")
 	}
-	mm.get(&b, "b", unit, build("B"))
+	mm.get(context.Background(), &b, "b", unit, build("B"))
 	if mm.misses.Load() != misses+1 {
 		t.Error("b should have been evicted and rebuilt")
 	}
@@ -96,7 +98,7 @@ func TestMemoErrorsNotRetained(t *testing.T) {
 	boom := fmt.Errorf("boom")
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("bad-%d", i%2)
-		if _, err := mm.get(&b, key, func(string) int64 { return 1 },
+		if _, err := mm.get(context.Background(), &b, key, func(string) int64 { return 1 },
 			func() (string, error) { return "", boom }); err != boom {
 			t.Fatalf("err = %v", err)
 		}
@@ -122,7 +124,7 @@ func TestCacheUnboundedByDefault(t *testing.T) {
 	for _, network := range models.Names() {
 		for _, cfg := range core.Configs {
 			opts := core.DefaultOptions(cfg, models.DefaultBatch(network))
-			if _, err := c.Traffic(network, opts); err != nil {
+			if _, err := c.Traffic(context.Background(), network, opts); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -150,14 +152,14 @@ func TestCacheBoundHolds(t *testing.T) {
 		for _, network := range models.Names() {
 			for _, cfg := range core.Configs {
 				opts := core.DefaultOptions(cfg, models.DefaultBatch(network))
-				s, err := c.Plan(network, opts)
+				s, err := c.Plan(context.Background(), network, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if s.Opts != opts {
 					t.Fatalf("%s/%s: wrong schedule returned", network, cfg)
 				}
-				if _, err := c.Traffic(network, opts); err != nil {
+				if _, err := c.Traffic(context.Background(), network, opts); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -181,7 +183,7 @@ func TestCacheSetMaxBytesEvictsDown(t *testing.T) {
 	c := new(Cache)
 	for _, network := range []string{"resnet50", "alexnet", "inceptionv3"} {
 		opts := core.DefaultOptions(core.MBS2, models.DefaultBatch(network))
-		if _, err := c.Traffic(network, opts); err != nil {
+		if _, err := c.Traffic(context.Background(), network, opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -217,7 +219,7 @@ func TestCacheBoundedConcurrent(t *testing.T) {
 				network := networks[(w+i)%len(networks)]
 				cfg := core.Configs[i%len(core.Configs)]
 				opts := core.DefaultOptions(cfg, models.DefaultBatch(network))
-				s, err := c.Plan(network, opts)
+				s, err := c.Plan(context.Background(), network, opts)
 				if err != nil {
 					t.Error(err)
 					return
@@ -232,5 +234,81 @@ func TestCacheBoundedConcurrent(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Bytes > maxBytes {
 		t.Errorf("cache bytes %d exceed bound %d", st.Bytes, maxBytes)
+	}
+}
+
+// TestMemoWaiterAbandonDoesNotPoison is the cancellation contract of the
+// singleflight memo: a waiter whose context dies mid-build gets ctx.Err()
+// immediately, the build keeps running for everyone else, and the finished
+// artifact lands in the cache — the abandoned wait neither cancels nor
+// poisons the shared entry.
+func TestMemoWaiterAbandonDoesNotPoison(t *testing.T) {
+	var mm memo[string, int]
+	var b budget
+	gate := make(chan struct{})
+	building := make(chan struct{})
+	unit := func(int) int64 { return 1 }
+	build := func() (int, error) {
+		close(building)
+		<-gate
+		return 42, nil
+	}
+
+	// The leader requests the key with a cancellable context and walks away
+	// while the build is blocked on the gate.
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := mm.get(ctx, &b, "key", unit, build)
+		leaderErr <- err
+	}()
+	<-building // the build is in flight
+	cancel()
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned waiter got %v, want context.Canceled", err)
+	}
+
+	// A second waiter with a live context joins the same in-flight build.
+	got := make(chan int, 1)
+	go func() {
+		v, err := mm.get(context.Background(), &b, "key", unit, build)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	close(gate) // let the original build finish
+	if v := <-got; v != 42 {
+		t.Fatalf("waiter got %d, want 42", v)
+	}
+
+	// The entry is cached and healthy: a fresh get is a hit on the same value.
+	misses := mm.misses.Load()
+	v, err := mm.get(context.Background(), &b, "key", unit,
+		func() (int, error) { return 0, errors.New("rebuild would be poison") })
+	if err != nil || v != 42 {
+		t.Fatalf("post-abandon get = %d, %v; want 42, nil", v, err)
+	}
+	if mm.misses.Load() != misses {
+		t.Error("post-abandon get rebuilt the entry — the cancelled waiter poisoned it")
+	}
+}
+
+// TestMemoPreCancelledContext: a get with an already-dead context still
+// starts the build (so future callers benefit) but returns without waiting.
+func TestMemoPreCancelledContext(t *testing.T) {
+	var mm memo[string, int]
+	var b budget
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	if _, err := mm.get(ctx, &b, "key", func(int) int64 { return 1 },
+		func() (int, error) { close(done); return 7, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	<-done // the detached build ran regardless
+	if v, err := mm.get(context.Background(), &b, "key", func(int) int64 { return 1 },
+		func() (int, error) { return 0, errors.New("no rebuild") }); err != nil || v != 7 {
+		t.Fatalf("second get = %d, %v; want cached 7", v, err)
 	}
 }

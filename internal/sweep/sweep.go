@@ -8,9 +8,15 @@
 // Determinism is a hard guarantee: results come back in cell order whatever
 // the worker count, and every per-cell computation is a pure function of the
 // cell, so a run at -parallel N is byte-identical to a sequential run.
+//
+// Execution is context-aware: every entry point takes a context.Context, a
+// cancelled grid stops claiming cells and drains its workers promptly, and a
+// caller abandoning a singleflight cache build neither cancels the build for
+// concurrent waiters nor poisons the cached entry.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -47,26 +53,32 @@ func (e *Engine) Workers() int { return e.workers }
 func (e *Engine) Cache() *Cache { return e.cache }
 
 // Network returns the cached network for name.
-func (e *Engine) Network(name string) (*graph.Network, error) {
-	return e.cache.Network(name)
+func (e *Engine) Network(ctx context.Context, name string) (*graph.Network, error) {
+	return e.cache.Network(ctx, name)
 }
 
 // Plan returns the cached schedule for (network, opts).
-func (e *Engine) Plan(network string, opts core.Options) (*core.Schedule, error) {
-	return e.cache.Plan(network, opts)
+func (e *Engine) Plan(ctx context.Context, network string, opts core.Options) (*core.Schedule, error) {
+	return e.cache.Plan(ctx, network, opts)
 }
 
 // Traffic returns the cached traffic ledger for (network, opts).
-func (e *Engine) Traffic(network string, opts core.Options) (*core.Traffic, error) {
-	return e.cache.Traffic(network, opts)
+func (e *Engine) Traffic(ctx context.Context, network string, opts core.Options) (*core.Traffic, error) {
+	return e.cache.Traffic(ctx, network, opts)
 }
 
-// Map runs fn(i) for every i in [0, n) on up to e.Workers() goroutines and
-// returns the results in index order. Indices are claimed in increasing
+// Map runs fn(ctx, i) for every i in [0, n) on up to e.Workers() goroutines
+// and returns the results in index order. Indices are claimed in increasing
 // order; on failure no further indices are started and the error at the
 // lowest index is returned, so the reported error does not depend on
 // goroutine scheduling.
-func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
+//
+// Cancelling ctx drains the pool promptly: no new index is claimed once the
+// context is done, already-claimed calls see the cancelled ctx (and abort at
+// their next cancellation point), and Map returns ctx.Err() — so a caller
+// that walks away frees its worker slots long before the grid would have
+// finished.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -88,11 +100,14 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 				if errIdx.Load() < int64(n) {
 					return
 				}
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return
 				}
-				v, err := fn(i)
+				v, err := fn(ctx, i)
 				if err != nil {
 					errs[i] = err
 					for {
@@ -108,6 +123,12 @@ func Map[T any](e *Engine, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	// Cancellation wins over per-cell errors: once ctx is done, cells start
+	// failing with wrapped ctx errors at scheduler-dependent indices, so the
+	// only deterministic report is ctx.Err() itself.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if idx := errIdx.Load(); idx < int64(n) {
 		return nil, errs[idx]
 	}
@@ -206,15 +227,17 @@ func (g Grid) Cells() []Cell {
 
 // Simulate runs one cell: it plans (or reuses) the schedule and traffic
 // ledger for the cell's planning inputs and simulates a training step on
-// the cell's memory system.
-func (e *Engine) Simulate(cell Cell) (*sim.Result, error) {
+// the cell's memory system. A cancelled ctx aborts the cache waits; the
+// simulation itself is a short pure computation and runs to completion once
+// its inputs are resolved.
+func (e *Engine) Simulate(ctx context.Context, cell Cell) (*sim.Result, error) {
 	cell = cell.normalized()
 	opts := cell.Options()
-	s, err := e.cache.Plan(cell.Network, opts)
+	s, err := e.cache.Plan(ctx, cell.Network, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
 	}
-	tr, err := e.cache.Traffic(cell.Network, opts)
+	tr, err := e.cache.Traffic(ctx, cell.Network, opts)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: cell %s: %w", cell, err)
 	}
@@ -227,11 +250,38 @@ func (e *Engine) Simulate(cell Cell) (*sim.Result, error) {
 	return r, nil
 }
 
+// CellObserver receives each completed grid cell as soon as its simulation
+// finishes. Callbacks arrive from worker goroutines in completion order —
+// not cell order — and must be safe for concurrent use; index identifies the
+// cell's position in the submitted grid.
+type CellObserver func(index int, cell Cell, row Row)
+
+type observerKey struct{}
+
+// WithCellObserver returns a context that makes SimulateGrid report every
+// completed cell to obs. This is the streaming hook: a long sweep's rows can
+// be delivered incrementally while the grid is still running.
+func WithCellObserver(ctx context.Context, obs CellObserver) context.Context {
+	return context.WithValue(ctx, observerKey{}, obs)
+}
+
+// cellObserver extracts the observer installed by WithCellObserver, if any.
+func cellObserver(ctx context.Context) CellObserver {
+	obs, _ := ctx.Value(observerKey{}).(CellObserver)
+	return obs
+}
+
 // SimulateGrid simulates every cell concurrently, returning results in cell
-// order.
-func (e *Engine) SimulateGrid(cells []Cell) ([]*sim.Result, error) {
-	return Map(e, len(cells), func(i int) (*sim.Result, error) {
-		return e.Simulate(cells[i])
+// order. If ctx carries a CellObserver, each completed cell is reported to
+// it as it finishes.
+func (e *Engine) SimulateGrid(ctx context.Context, cells []Cell) ([]*sim.Result, error) {
+	obs := cellObserver(ctx)
+	return Map(ctx, e, len(cells), func(ctx context.Context, i int) (*sim.Result, error) {
+		r, err := e.Simulate(ctx, cells[i])
+		if err == nil && obs != nil {
+			obs(i, cells[i], RowOf(cells[i], r))
+		}
+		return r, err
 	})
 }
 

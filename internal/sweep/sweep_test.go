@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -15,7 +17,7 @@ import (
 
 func TestMapPreservesOrder(t *testing.T) {
 	e := New(8)
-	out, err := Map(e, 100, func(i int) (int, error) { return i * i, nil })
+	out, err := Map(context.Background(), e, 100, func(_ context.Context, i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +32,7 @@ func TestMapPreservesOrder(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map(New(4), 0, func(i int) (int, error) { return 0, nil })
+	out, err := Map(context.Background(), New(4), 0, func(_ context.Context, i int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("out=%v err=%v", out, err)
 	}
@@ -41,7 +43,7 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 	// error at the lowest claimed index must win.
 	for _, workers := range []int{1, 4, 16} {
 		e := New(workers)
-		_, err := Map(e, 100, func(i int) (int, error) {
+		_, err := Map(context.Background(), e, 100, func(_ context.Context, i int) (int, error) {
 			if i == 30 || i == 60 {
 				return 0, fmt.Errorf("cell %d failed", i)
 			}
@@ -56,7 +58,7 @@ func TestMapReturnsLowestIndexError(t *testing.T) {
 func TestMapStopsClaimingAfterError(t *testing.T) {
 	var calls atomic.Int64
 	sentinel := errors.New("boom")
-	_, err := Map(New(2), 1000, func(i int) (int, error) {
+	_, err := Map(context.Background(), New(2), 1000, func(_ context.Context, i int) (int, error) {
 		calls.Add(1)
 		return 0, sentinel
 	})
@@ -71,27 +73,27 @@ func TestMapStopsClaimingAfterError(t *testing.T) {
 func TestCacheSharesArtifacts(t *testing.T) {
 	c := new(Cache)
 	opts := core.DefaultOptions(core.MBS2, 32)
-	s1, err := c.Plan("resnet50", opts)
+	s1, err := c.Plan(context.Background(), "resnet50", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := c.Plan("resnet50", opts)
+	s2, err := c.Plan(context.Background(), "resnet50", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s1 != s2 {
 		t.Error("repeated Plan should return the cached schedule")
 	}
-	n1, _ := c.Network("resnet50")
-	n2, _ := c.Network("resnet50")
+	n1, _ := c.Network(context.Background(), "resnet50")
+	n2, _ := c.Network(context.Background(), "resnet50")
 	if n1 != n2 || n1 != s1.Net {
 		t.Error("plans should share the cached network")
 	}
-	tr1, err := c.Traffic("resnet50", opts)
+	tr1, err := c.Traffic(context.Background(), "resnet50", opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr2, _ := c.Traffic("resnet50", opts)
+	tr2, _ := c.Traffic(context.Background(), "resnet50", opts)
 	if tr1 != tr2 {
 		t.Error("repeated Traffic should return the cached ledger")
 	}
@@ -106,10 +108,10 @@ func TestCacheSharesArtifacts(t *testing.T) {
 
 func TestCacheErrorsAreCached(t *testing.T) {
 	c := new(Cache)
-	if _, err := c.Plan("nonexistent", core.DefaultOptions(core.MBS2, 32)); err == nil {
+	if _, err := c.Plan(context.Background(), "nonexistent", core.DefaultOptions(core.MBS2, 32)); err == nil {
 		t.Fatal("want error for unknown network")
 	}
-	if _, err := c.Traffic("nonexistent", core.DefaultOptions(core.MBS2, 32)); err == nil {
+	if _, err := c.Traffic(context.Background(), "nonexistent", core.DefaultOptions(core.MBS2, 32)); err == nil {
 		t.Fatal("want error for unknown network")
 	}
 }
@@ -124,14 +126,14 @@ func TestCacheHitEqualsFreshPlan(t *testing.T) {
 		for _, cfg := range core.Configs {
 			opts := core.DefaultOptions(cfg, models.DefaultBatch(network))
 			// Warm the cache, then read it again so the second read is a hit.
-			if _, err := c.Plan(network, opts); err != nil {
+			if _, err := c.Plan(context.Background(), network, opts); err != nil {
 				t.Fatal(err)
 			}
-			cached, err := c.Plan(network, opts)
+			cached, err := c.Plan(context.Background(), network, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			cachedTr, err := c.Traffic(network, opts)
+			cachedTr, err := c.Traffic(context.Background(), network, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -216,7 +218,7 @@ func TestGridCellsOrderAndCount(t *testing.T) {
 func TestSimulateMatchesDirect(t *testing.T) {
 	e := New(4)
 	cell := Cell{Network: "resnet50", Config: core.MBS2, Memory: memsys.GDDR5, Batch: 32}
-	got, err := e.Simulate(cell)
+	got, err := e.Simulate(context.Background(), cell)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestSimulateGridConcurrent(t *testing.T) {
 	}
 	// Duplicate the grid so every plan is requested by multiple cells.
 	cells := append(grid.Cells(), grid.Cells()...)
-	results, err := e.SimulateGrid(cells)
+	results, err := e.SimulateGrid(context.Background(), cells)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,5 +261,76 @@ func TestSimulateGridConcurrent(t *testing.T) {
 	// 2 networks x 6 configs = 12 distinct plans for 48 cells.
 	if st.PlanMisses != 12 {
 		t.Errorf("plan misses = %d, want 12", st.PlanMisses)
+	}
+}
+
+// TestMapCancelFreesWorkers is the worker-slot guarantee: cancelling the
+// context mid-grid stops the pool claiming new cells, so Map returns (and
+// the engine's worker slots free) long before the grid would have finished.
+func TestMapCancelFreesWorkers(t *testing.T) {
+	const workers, n = 4, 1000
+	e := New(workers)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	allClaimed := make(chan struct{})
+	go func() {
+		<-allClaimed // every worker holds a cell; cancel the grid
+		cancel()
+	}()
+	_, err := Map(ctx, e, n, func(ctx context.Context, i int) (int, error) {
+		if started.Add(1) == workers {
+			close(allClaimed)
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := started.Load(); got != workers {
+		t.Errorf("cells started = %d, want exactly the %d claimed before cancel", got, workers)
+	}
+}
+
+// TestSimulateGridCancelled: a cancelled context aborts a real grid and
+// reports the context error, not a wrapped per-cell one.
+func TestSimulateGridCancelled(t *testing.T) {
+	e := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cells := Grid{Networks: []string{"resnet50", "alexnet"}, Configs: core.Configs}.Cells()
+	if _, err := e.SimulateGrid(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSimulateGridObserver: the streaming hook sees every cell exactly
+// once, with the row matching the returned result.
+func TestSimulateGridObserver(t *testing.T) {
+	e := New(4)
+	grid := Grid{Networks: []string{"resnet50", "alexnet"}, Configs: core.Configs}
+	cells := grid.Cells()
+	var mu sync.Mutex
+	seen := make(map[int]Row)
+	ctx := WithCellObserver(context.Background(), func(i int, cell Cell, row Row) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[i]; dup {
+			t.Errorf("cell %d observed twice", i)
+		}
+		seen[i] = row
+	})
+	results, err := e.SimulateGrid(ctx, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("observed %d cells, want %d", len(seen), len(cells))
+	}
+	for i, res := range results {
+		if want := RowOf(cells[i], res); seen[i] != want {
+			t.Errorf("cell %d: observed row %+v, want %+v", i, seen[i], want)
+		}
 	}
 }

@@ -1,0 +1,407 @@
+// Package client is the typed Go client for the mbsd HTTP API. It covers
+// the synchronous v1 surface (Run, Scenarios, Stats) and the asynchronous
+// v2 job surface (Submit, Job, Cancel, Stream, Wait), decodes the service's
+// structured errors into *APIError, and is context-aware throughout —
+// cancelling a call's context abandons it immediately.
+//
+// The wire types here deliberately mirror internal/api and
+// internal/service rather than importing them: the client is the consumer-
+// facing contract, and the service parity tests pin the two against each
+// other.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	job, err := c.Submit(ctx, "sweep", map[string]string{"axes": "buffer"})
+//	stream, err := c.Stream(ctx, job.ID)
+//	for {
+//		ev, err := stream.Next()
+//		// ev.Type: "status", then "cell" per completed sweep cell, then "done"
+//	}
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one mbsd base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (the default has
+// no timeout: per-call contexts bound each request, and job streams are
+// long-lived by design).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the mbsd instance at base, e.g.
+// "http://127.0.0.1:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a structured service error: the decoded
+// {"error", "scenario", "code"} body plus the HTTP status.
+type APIError struct {
+	Status   int    `json:"-"`
+	Message  string `json:"error"`
+	Scenario string `json:"scenario,omitempty"`
+	Code     string `json:"code"`
+}
+
+func (e *APIError) Error() string {
+	if e.Scenario != "" {
+		return fmt.Sprintf("mbsd: HTTP %d (%s, scenario %s): %s", e.Status, e.Code, e.Scenario, e.Message)
+	}
+	return fmt.Sprintf("mbsd: HTTP %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Error codes mirrored from the service for branching without string
+// matching.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeUnknownScenario = "unknown_scenario"
+	CodeInvalidParams   = "invalid_params"
+	CodeUnknownJob      = "unknown_job"
+	CodeRunFailed       = "run_failed"
+	CodeCancelled       = "cancelled"
+	CodeUnavailable     = "unavailable"
+	CodeInternal        = "internal"
+)
+
+// ScenarioParam describes one typed scenario parameter.
+type ScenarioParam struct {
+	Name        string   `json:"name"`
+	Type        string   `json:"type"`
+	Default     string   `json:"default"`
+	Description string   `json:"description"`
+	Enum        []string `json:"enum,omitempty"`
+}
+
+// ScenarioInfo is one registry entry of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name        string          `json:"name"`
+	Description string          `json:"description"`
+	Params      []ScenarioParam `json:"params,omitempty"`
+}
+
+// RunRequest is the POST /v1/run body.
+type RunRequest struct {
+	Scenario string            `json:"scenario"`
+	Params   map[string]string `json:"params,omitempty"`
+	Format   string            `json:"format,omitempty"` // "", "json" or "text"
+}
+
+// JobState is a v2 job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is a v2 job's status; Result holds the scenario's rendered JSON (the
+// POST /v1/run bytes) once State == done.
+type Job struct {
+	ID             string            `json:"id"`
+	Scenario       string            `json:"scenario"`
+	Params         map[string]string `json:"params,omitempty"`
+	State          JobState          `json:"state"`
+	Error          string            `json:"error,omitempty"`
+	Code           string            `json:"code,omitempty"`
+	CellsCompleted int               `json:"cells_completed"`
+	SubmittedAt    time.Time         `json:"submitted_at"`
+	StartedAt      *time.Time        `json:"started_at,omitempty"`
+	FinishedAt     *time.Time        `json:"finished_at,omitempty"`
+	Result         json.RawMessage   `json:"result,omitempty"`
+}
+
+// Event is one NDJSON line of a job stream.
+type Event struct {
+	Type  string          `json:"type"` // "status" | "cell" | "done"
+	Index int             `json:"index"`
+	Cell  string          `json:"cell,omitempty"`
+	Row   json.RawMessage `json:"row,omitempty"`
+	Job   *Job            `json:"job,omitempty"`
+}
+
+// JobStats is the jobs section of Stats.
+type JobStats struct {
+	Submitted     int64            `json:"submitted"`
+	QueueDepth    int64            `json:"queue_depth"`
+	Cancellations int64            `json:"cancellations"`
+	ByState       map[JobState]int `json:"by_state"`
+	Retained      int              `json:"retained"`
+}
+
+// CacheStats is the engine-cache section of Stats.
+type CacheStats struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"max_bytes"`
+}
+
+// Stats is the GET /v1/stats body (build identity fields omitted; decode
+// raw via Run-style calls if needed).
+type Stats struct {
+	Workers     int        `json:"workers"`
+	MaxInFlight int        `json:"max_in_flight"`
+	InFlight    int64      `json:"in_flight"`
+	QueueDepth  int64      `json:"queue_depth"`
+	Served      int64      `json:"served"`
+	Failed      int64      `json:"failed"`
+	Cancelled   int64      `json:"cancelled"`
+	Jobs        JobStats   `json:"jobs"`
+	Cache       CacheStats `json:"cache"`
+}
+
+// do issues a request and returns the response, converting non-2xx bodies
+// into *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body any) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	ae := &APIError{Status: resp.StatusCode}
+	if err := json.Unmarshal(raw, ae); err != nil || ae.Message == "" {
+		ae.Message = strings.TrimSpace(string(raw))
+		if ae.Message == "" {
+			ae.Message = resp.Status
+		}
+		ae.Code = CodeInternal
+	}
+	return nil, ae
+}
+
+// getJSON decodes a GET response body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	resp, err := c.do(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Scenarios lists the registry.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var infos []ScenarioInfo
+	if err := c.getJSON(ctx, "/v1/scenarios", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Stats reads the serving counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	st := new(Stats)
+	if err := c.getJSON(ctx, "/v1/stats", st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Run executes a scenario synchronously and returns the raw response body:
+// for the default JSON format these are exactly the bytes
+// `mbsim -scenario <name> -json` prints.
+func (c *Client) Run(ctx context.Context, req RunRequest) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v1/run", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Submit enqueues a scenario as an asynchronous v2 job.
+func (c *Client) Submit(ctx context.Context, scenario string, params map[string]string) (*Job, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v2/jobs",
+		map[string]any{"scenario": scenario, "params": params})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	job := new(Job)
+	if err := json.NewDecoder(resp.Body).Decode(job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// Job reads a job's status; Result is populated once the job is done.
+func (c *Client) Job(ctx context.Context, id string) (*Job, error) {
+	job := new(Job)
+	if err := c.getJSON(ctx, "/v2/jobs/"+id, job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// Result fetches a done job's raw result bytes — byte-identical to the
+// synchronous Run response for the same scenario and params. (The Result
+// field of Job is the same value re-indented as part of the status body;
+// use this method when byte parity matters.)
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Jobs lists the retained jobs (statuses only, no results).
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var out []Job
+	if err := c.getJSON(ctx, "/v2/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Cancel requests cancellation; the returned status already reports
+// cancelled for any non-terminal job. Cancelling a finished job is a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	resp, err := c.do(ctx, http.MethodDelete, "/v2/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	job := new(Job)
+	if err := json.NewDecoder(resp.Body).Decode(job); err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// Stream is an open NDJSON job stream.
+type Stream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Stream opens a job's event stream: a status event, then completed cells
+// as the engine finishes them, then a done event. Cancel ctx (or Close) to
+// abandon it.
+func (c *Client) Stream(ctx context.Context, id string) (*Stream, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v2/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20) // "all" rows can be sizeable
+	return &Stream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event; io.EOF after the final (done) event.
+func (s *Stream) Next() (*Event, error) {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev := new(Event)
+		if err := json.Unmarshal(line, ev); err != nil {
+			return nil, fmt.Errorf("mbsd stream: bad event line: %w", err)
+		}
+		return ev, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// Close releases the stream's connection.
+func (s *Stream) Close() error { return s.body.Close() }
+
+// Wait follows a job's stream until it reaches a terminal state, then
+// returns the final status (with result). If the stream ends without a done
+// event — a proxy dropped it, the server restarted the connection — Wait
+// falls back to polling. Should the job be evicted from retention between
+// its done event and the follow-up status fetch, Wait returns the terminal
+// status the stream delivered (without the result) rather than a 404 for a
+// job it just watched finish.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	st, err := c.Stream(ctx, id)
+	if err == nil {
+		defer st.Close()
+		for {
+			ev, err := st.Next()
+			if err != nil {
+				break // fall back to polling below
+			}
+			if ev.Type == "done" {
+				job, err := c.Job(ctx, id)
+				var ae *APIError
+				if err != nil && errors.As(err, &ae) && ae.Code == CodeUnknownJob && ev.Job != nil {
+					return ev.Job, nil
+				}
+				return job, err
+			}
+		}
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

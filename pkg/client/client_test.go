@@ -1,0 +1,188 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func newTestClient(t *testing.T) *Client {
+	t.Helper()
+	svc := service.New(service.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return New(ts.URL)
+}
+
+func TestScenariosAndRun(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	infos, err := c.Scenarios(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) == 0 || infos[0].Name == "" {
+		t.Fatalf("scenarios = %+v", infos)
+	}
+	out, err := c.Run(ctx, RunRequest{Scenario: "fig4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte(`"fig4"`)) {
+		t.Errorf("run output missing scenario key: %.100s", out)
+	}
+	text, err := c.Run(ctx, RunRequest{Scenario: "table2", Format: "text"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text, []byte("WaveCore")) {
+		t.Errorf("text output = %.100s", text)
+	}
+}
+
+func TestAPIErrorDecoding(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	cases := []struct {
+		req    RunRequest
+		status int
+		code   string
+	}{
+		{RunRequest{Scenario: "fig99"}, 404, CodeUnknownScenario},
+		{RunRequest{Scenario: "fig5", Params: map[string]string{"bogus": "1"}}, 422, CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		_, err := c.Run(ctx, tc.req)
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("%v: err = %T (%v), want *APIError", tc.req, err, err)
+		}
+		if ae.Status != tc.status || ae.Code != tc.code {
+			t.Errorf("%v: got %d/%s, want %d/%s", tc.req, ae.Status, ae.Code, tc.status, tc.code)
+		}
+	}
+	if _, err := c.Job(ctx, "job-404"); err == nil {
+		t.Error("unknown job id succeeded")
+	}
+}
+
+// TestJobRoundTrip drives the v2 surface end to end through the typed
+// client: submit, stream cells, wait, and byte-parity of Result with Run.
+func TestJobRoundTrip(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	params := map[string]string{"axes": "buffer"}
+	job, err := c.Submit(ctx, "sweep", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.State.Terminal() {
+		t.Fatalf("submitted job = %+v", job)
+	}
+
+	stream, err := c.Stream(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	cells := 0
+	sawStatus := false
+	for {
+		ev, err := stream.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Type {
+		case "status":
+			sawStatus = true
+		case "cell":
+			cells++
+			if len(ev.Row) == 0 || ev.Cell == "" {
+				t.Errorf("cell event incomplete: %+v", ev)
+			}
+		case "done":
+			if ev.Job.State != JobDone {
+				t.Fatalf("done state = %s", ev.Job.State)
+			}
+			goto streamed
+		}
+	}
+streamed:
+	if !sawStatus || cells != 5 {
+		t.Errorf("stream: status=%v cells=%d, want status and 5 cells", sawStatus, cells)
+	}
+	if _, err := stream.Next(); err != io.EOF {
+		t.Errorf("after done: err = %v, want io.EOF", err)
+	}
+
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone || final.CellsCompleted != 5 {
+		t.Errorf("final = %s/%d cells", final.State, final.CellsCompleted)
+	}
+	result, err := c.Result(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncBytes, err := c.Run(ctx, RunRequest{Scenario: "sweep", Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(result, syncBytes) {
+		t.Errorf("job result differs from synchronous run bytes (%d vs %d)", len(result), len(syncBytes))
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Errorf("jobs list = %+v", jobs)
+	}
+}
+
+func TestCancelThroughClient(t *testing.T) {
+	c := newTestClient(t)
+	ctx := context.Background()
+	job, err := c.Submit(ctx, "all", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Cancel(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The submit→cancel turnaround is not gated here, so the suite may have
+	// already finished; any terminal state is acceptable, but a cancelled
+	// one must be reflected by Wait and the stats counter.
+	if !st.State.Terminal() {
+		t.Fatalf("cancel returned non-terminal state %s", st.State)
+	}
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != st.State {
+		t.Errorf("Wait state %s != cancel state %s", final.State, st.State)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == JobCancelled && stats.Jobs.Cancellations != 1 {
+		t.Errorf("cancellations = %d, want 1", stats.Jobs.Cancellations)
+	}
+	if stats.Jobs.Submitted != 1 {
+		t.Errorf("submitted = %d, want 1", stats.Jobs.Submitted)
+	}
+}
