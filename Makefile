@@ -3,8 +3,9 @@ GO ?= go
 .PHONY: all build test race vet bench-smoke bench-json golden serve load-smoke clean
 
 # The trajectory snapshot written by bench-json; bump the index per PR so
-# history accumulates (BENCH_2.json was the first, from the kernel-engine PR).
-BENCH_JSON ?= BENCH_2.json
+# history accumulates (BENCH_2.json was the first, from the kernel-engine PR;
+# BENCH_5.json added the inference fast path and the fused-epilogue kernels).
+BENCH_JSON ?= BENCH_5.json
 
 # Build identity baked into every binary (reported by -version and the mbsd
 # /v1/stats endpoint).
@@ -41,7 +42,7 @@ bench-smoke:
 # Headline kernel/training benchmarks as a JSON snapshot for the perf
 # trajectory: future PRs re-run this and diff against the committed file.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep' \
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep|BenchmarkInfer' \
 		-benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # Regenerate the pinned figure/table outputs after an intentional change to
@@ -55,7 +56,9 @@ serve:
 
 # Start a local mbsd, fire ~1000 concurrent requests at it, and assert zero
 # failures, >90% engine-cache hit rate, and the cache under its byte bound;
-# then exercise the v2 job API (submit/stream/cancel) through pkg/client.
+# then exercise the v2 job API (submit/stream/cancel) and the batched
+# inference endpoint (concurrent clients, zero failures, mean served batch
+# size > 1) through pkg/client.
 load-smoke:
 	@mkdir -p bin
 	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
@@ -65,7 +68,8 @@ load-smoke:
 	for i in $$(seq 1 50); do \
 		bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
-	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64
+	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64 && \
+	bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 -infer 400 -c 32
 
 clean:
 	$(GO) clean ./...

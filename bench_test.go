@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/infer"
 	"repro/internal/memsys"
 	"repro/internal/models"
 	"repro/internal/nn"
@@ -503,4 +504,81 @@ func BenchmarkTrainStepMBS(b *testing.B) {
 			m.TrainStepMBS(x, labels, 8, opt)
 		}
 	})
+}
+
+// --- Inference fast path (internal/infer + nn.Predictor) ---------------------
+//
+// BenchmarkInferSingle and BenchmarkInferBatched are the serving headline:
+// both process the same 8 samples per op on the default serving MLP —
+// Single as 8 sequential single-request forwards (every call re-streams and
+// re-decodes the full packed fp16 weight set for one row of work), Batched
+// as one coalesced batch-8 forward (each decoded weight panel is reused
+// across all 8 rows). ns/op is therefore directly comparable, and the
+// Single/Batched ratio is the per-item throughput win of micro-batching —
+// the paper's bandwidth-bound-to-compute-bound argument, measured at the
+// serving layer. Acceptance: Batched >= 3x Single.
+
+// inferBenchCase compiles the mlp serving model and 8 deterministic inputs.
+func inferBenchCase(b *testing.B) (*nn.Predictor, *tensor.Tensor) {
+	b.Helper()
+	spec, ok := infer.Lookup("mlp")
+	if !ok {
+		b.Fatal("mlp not in the serving registry")
+	}
+	pred, err := spec.NewPredictor(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.New(append([]int{8}, spec.InShape...)...)
+	x.Randn(rng, 1)
+	return pred, x
+}
+
+// BenchmarkInferSingle serves 8 samples as 8 sequential batch-1 requests.
+func BenchmarkInferSingle(b *testing.B) {
+	pred, x := inferBenchCase(b)
+	singles := make([]*tensor.Tensor, 8)
+	for i := range singles {
+		singles[i] = tensor.SliceBatch(x, i, i+1)
+		pred.Forward(singles[i]) // warm per-batch-size buffers
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, xi := range singles {
+			pred.Forward(xi)
+		}
+	}
+}
+
+// BenchmarkInferBatched serves the same 8 samples as one coalesced
+// micro-batch.
+func BenchmarkInferBatched(b *testing.B) {
+	pred, x := inferBenchCase(b)
+	pred.Forward(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.Forward(x)
+	}
+}
+
+// BenchmarkInferCNNBatched tracks the smallcnn serving model (conv+GN on
+// the fused epilogue path) at batch 8, per-op = one batch.
+func BenchmarkInferCNNBatched(b *testing.B) {
+	spec, _ := infer.Lookup("smallcnn")
+	pred, err := spec.NewPredictor(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := tensor.New(append([]int{8}, spec.InShape...)...)
+	x.Randn(rng, 1)
+	pred.Forward(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.Forward(x)
+	}
 }

@@ -19,6 +19,8 @@
 //	curl localhost:8080/v2/jobs/job-1                               # status/result
 //	curl localhost:8080/v2/jobs/job-1/stream                        # NDJSON cells
 //	curl -X DELETE localhost:8080/v2/jobs/job-1                     # cancel
+//	curl -X POST localhost:8080/v2/infer -d '{"inputs":[[...768 floats...]]}'
+//	                                        # micro-batched model inference
 //
 // JSON run responses are byte-identical to `mbsim -scenario <name> -json`.
 // SIGINT/SIGTERM trigger a graceful shutdown: live v2 jobs are cancelled,
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/infer"
 	"repro/internal/service"
 )
 
@@ -46,6 +49,10 @@ func main() {
 	parallel := flag.Int("parallel", 0, "sweep engine worker count (0 = all cores)")
 	cacheMB := flag.Int64("cache-mb", 256, "engine cache bound in MiB (0 = unbounded)")
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrently executing runs (0 = 2x cores)")
+	inferModel := flag.String("infer-model", "smallcnn",
+		fmt.Sprintf("model served by POST /v2/infer (one of %v)", infer.Models()))
+	inferBatch := flag.Int("infer-batch", 0, "inference micro-batch flush size (0 = 8)")
+	inferDelay := flag.Duration("infer-delay", 0, "inference coalesce deadline (0 = 2ms)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -54,10 +61,16 @@ func main() {
 		return
 	}
 
+	if _, ok := infer.Lookup(*inferModel); !ok {
+		log.Fatalf("mbsd: unknown -infer-model %q (have %v)", *inferModel, infer.Models())
+	}
 	svc := service.New(service.Config{
 		Workers:       *parallel,
 		CacheMaxBytes: *cacheMB << 20,
 		MaxInFlight:   *maxInFlight,
+		InferModel:    *inferModel,
+		InferMaxBatch: *inferBatch,
+		InferMaxDelay: *inferDelay,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -70,8 +83,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mbsd %s listening on %s (workers=%d cache-mb=%d max-inflight=%d)",
-		buildinfo.Get(), *addr, svc.Engine().Workers(), *cacheMB, *maxInFlight)
+	log.Printf("mbsd %s listening on %s (workers=%d cache-mb=%d max-inflight=%d infer-model=%s)",
+		buildinfo.Get(), *addr, svc.Engine().Workers(), *cacheMB, *maxInFlight, *inferModel)
 
 	select {
 	case err := <-errc:

@@ -7,14 +7,18 @@
 // its NDJSON stream and require cell events ahead of the done event,
 // verify the job result is byte-identical to the synchronous /v1/run
 // response, and submit-then-cancel a second job, requiring the
-// cancellation counters to move. `make load-smoke` wires it against a
-// freshly started local mbsd.
+// cancellation counters to move. With -infer N it also smokes the batched
+// inference endpoint: N concurrent single-sample POST /v2/infer requests,
+// asserting zero failures, real coalescing (mean served batch size above
+// -min-mean-batch) and batch-composition-independent logits. `make
+// load-smoke` wires it against a freshly started local mbsd.
 //
 // Usage:
 //
 //	mbsload -url http://127.0.0.1:8080 -n 1000 -c 64
 //	mbsload -scenarios fig3,fig4,table2 -min-hit-rate 0.9
 //	mbsload -n 0                # v2 smoke only
+//	mbsload -n 0 -v2-smoke=false -infer 500 -c 32  # infer smoke only
 //	mbsload -n 0 -v2-smoke=false -min-hit-rate 0   # readiness probe
 package main
 
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/infer"
 	"repro/pkg/client"
 )
 
@@ -41,6 +46,9 @@ func main() {
 		"comma-separated scenarios to rotate over")
 	minHitRate := flag.Float64("min-hit-rate", 0.9, "required engine cache hit rate")
 	v2smoke := flag.Bool("v2-smoke", true, "exercise the v2 job API (submit/stream/cancel)")
+	inferN := flag.Int("infer", 0, "total /v2/infer requests to fire (0 = skip the infer smoke)")
+	minMeanBatch := flag.Float64("min-mean-batch", 1.05,
+		"required mean coalesced batch size across the infer smoke's requests")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -117,7 +125,120 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *inferN > 0 {
+		if err := smokeInfer(ctx, cl, *inferN, *c, *minMeanBatch); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Println("load-smoke: OK")
+}
+
+// smokeInfer drives the batched inference endpoint with concurrent
+// single-sample clients and asserts three things: zero failures, actual
+// coalescing (mean served batch size above the floor), and determinism —
+// requests built from the same input pattern must return byte-identical
+// logits no matter which micro-batch served them.
+func smokeInfer(ctx context.Context, cl *client.Client, n, workers int, minMeanBatch float64) error {
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("infer stats: %w", err)
+	}
+	spec, ok := infer.Lookup(stats.Infer.Model)
+	if !ok {
+		return fmt.Errorf("infer-smoke: server serves unknown model %q", stats.Infer.Model)
+	}
+	inSize := spec.InSize()
+	const patterns = 4
+	var mu sync.Mutex
+	reference := make(map[int][]float64, patterns)
+	var totalBatch atomic.Int64
+	var failures atomic.Int64
+	var firstErr error
+	record := func(err error) {
+		failures.Add(1)
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				pat := i % patterns
+				reqCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+				resp, err := cl.Infer(reqCtx, [][]float64{inferInput(pat, inSize)})
+				cancel()
+				if err != nil {
+					record(fmt.Errorf("infer %d: %w", i, err))
+					continue
+				}
+				if len(resp.Outputs) != 1 || len(resp.BatchSizes) != 1 {
+					record(fmt.Errorf("infer %d: %d outputs", i, len(resp.Outputs)))
+					continue
+				}
+				totalBatch.Add(int64(resp.BatchSizes[0]))
+				mu.Lock()
+				ref, seen := reference[pat]
+				if !seen {
+					reference[pat] = resp.Outputs[0]
+				}
+				mu.Unlock()
+				if seen && !equalFloats(ref, resp.Outputs[0]) {
+					record(fmt.Errorf("infer %d: pattern %d logits differ across micro-batches", i, pat))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	served := n - int(failures.Load())
+	var mean float64
+	if served > 0 {
+		mean = float64(totalBatch.Load()) / float64(served)
+	}
+	fmt.Printf("infer-smoke: %d requests in %v (%.0f req/s), %d failures, mean batch %.2f (model %s)\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
+		failures.Load(), mean, stats.Infer.Model)
+	if f := failures.Load(); f > 0 {
+		return fmt.Errorf("infer-smoke: %d/%d requests failed; first: %w", f, n, firstErr)
+	}
+	if mean < minMeanBatch {
+		return fmt.Errorf("infer-smoke: mean batch size %.2f below required %.2f — requests are not coalescing", mean, minMeanBatch)
+	}
+	return nil
+}
+
+// inferInput builds a deterministic input vector for a pattern index.
+func inferInput(pat, size int) []float64 {
+	in := make([]float64, size)
+	for j := range in {
+		in[j] = float64((pat*31+j*7)%13)/6.0 - 1.0
+	}
+	return in
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // smokeV2 exercises the asynchronous API end to end through pkg/client:

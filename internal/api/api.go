@@ -76,6 +76,27 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 	_ = report.WriteJSON(w, v)
 }
 
+// InferRequest is the POST /v2/infer body: one or more flattened input
+// samples for the served model. Each input is batched independently, so
+// concurrent clients' samples coalesce into shared forward passes.
+type InferRequest struct {
+	Inputs [][]float64 `json:"inputs"`
+}
+
+// InferResponse is the POST /v2/infer response.
+type InferResponse struct {
+	// Model is the served model's registry name.
+	Model string `json:"model"`
+	// Outputs holds one logits row per input, in request order.
+	Outputs [][]float64 `json:"outputs"`
+	// Argmax is the predicted class per input.
+	Argmax []int `json:"argmax"`
+	// BatchSizes reports, per input, how many samples rode in the
+	// micro-batch that served it — the coalescing observability the load
+	// smoke asserts on (>1 under concurrency).
+	BatchSizes []int `json:"batch_sizes"`
+}
+
 // JobState is a v2 job's lifecycle position.
 type JobState string
 

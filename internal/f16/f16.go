@@ -144,6 +144,23 @@ func QuantizeSlice(xs []float64) float64 {
 	return maxErr
 }
 
+// EncodeSlice rounds src into dst (which must be at least as long) as half
+// precision — the layout a 16-bit feature write-back produces.
+func EncodeSlice(dst []F16, src []float64) {
+	for i, v := range src {
+		dst[i] = FromFloat64(v)
+	}
+}
+
+// DecodeSlice widens src into dst (which must be at least as long). The
+// conversion is exact, so Encode/Decode round-trips lose precision only at
+// the encode.
+func DecodeSlice(dst []float64, src []F16) {
+	for i, h := range src {
+		dst[i] = h.Float64()
+	}
+}
+
 // DotMixed computes a dot product the way a WaveCore PE column does: the
 // operands are first quantized to 16 bits, each product is computed at
 // fp16-input precision, and accumulation runs in float32 (the paper's

@@ -1,0 +1,327 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// ErrClosed is returned for requests that arrive at (or are still queued in)
+// a batcher that has shut down.
+var ErrClosed = errors.New("infer: batcher closed")
+
+// BadInputError reports a request whose input does not match the served
+// model. The HTTP layer maps it to 422.
+type BadInputError struct{ msg string }
+
+func (e *BadInputError) Error() string { return e.msg }
+
+// Config sizes a Batcher.
+type Config struct {
+	// MaxBatch flushes a batch as soon as this many live requests coalesce
+	// (0 = 8). It is also the compiled predictor's maximum batch.
+	MaxBatch int
+	// MaxDelay is the coalesce deadline: how long the first request of a
+	// batch waits for peers before a partial batch flushes (0 = 2ms).
+	MaxDelay time.Duration
+	// QueueCap bounds the request queue; senders beyond it block — cancel
+	// their context to abandon the wait (0 = 4*MaxBatch).
+	QueueCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	return c
+}
+
+// Result is one served inference.
+type Result struct {
+	// Logits is the model's per-class output for this sample.
+	Logits []float64
+	// Argmax is the predicted class.
+	Argmax int
+	// BatchSize is how many requests rode in the flush that served this
+	// one — the coalescing observability the load smoke asserts on.
+	BatchSize int
+}
+
+type request struct {
+	ctx   context.Context
+	input []float64
+	out   chan reply
+}
+
+type reply struct {
+	res Result
+	err error
+}
+
+// Batcher coalesces concurrent inference requests into micro-batches and
+// runs them on one compiled predictor. Requests are context-aware end to
+// end: a cancelled request abandons its queue slot (it is dropped when its
+// batch assembles, without stalling the flush), and a partial batch still
+// flushes when the coalesce deadline expires.
+type Batcher struct {
+	spec ModelSpec
+	cfg  Config
+	pred predictor
+
+	reqs chan *request
+	stop chan struct{}
+	done chan struct{}
+
+	xdata []float64
+	views []*tensor.Tensor // per-batch-size input headers
+
+	requests        atomic.Int64
+	items           atomic.Int64
+	batches         atomic.Int64
+	fullFlushes     atomic.Int64
+	deadlineFlushes atomic.Int64
+	cancelled       atomic.Int64
+}
+
+// predictor is the slice of nn.Predictor the batcher uses (an interface so
+// tests can substitute a slow or instrumented model).
+type predictor interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+}
+
+// New builds a batcher serving the given model and starts its dispatch
+// loop. Call Close to stop it.
+func New(spec ModelSpec, cfg Config) (*Batcher, error) {
+	cfg = cfg.withDefaults()
+	pred, err := spec.NewPredictor(cfg.MaxBatch)
+	if err != nil {
+		return nil, err
+	}
+	return newWith(spec, cfg, pred), nil
+}
+
+func newWith(spec ModelSpec, cfg Config, pred predictor) *Batcher {
+	b := &Batcher{
+		spec:  spec,
+		cfg:   cfg,
+		pred:  pred,
+		reqs:  make(chan *request, cfg.QueueCap),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		xdata: make([]float64, cfg.MaxBatch*spec.InSize()),
+		views: make([]*tensor.Tensor, cfg.MaxBatch),
+	}
+	go b.loop()
+	return b
+}
+
+// Model returns the served model's spec.
+func (b *Batcher) Model() ModelSpec { return b.spec }
+
+// Config returns the resolved batching knobs.
+func (b *Batcher) Config() Config { return b.cfg }
+
+// Infer queues one sample and blocks until its batch is served, the context
+// is cancelled, or the batcher closes.
+func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
+	if len(input) != b.spec.InSize() {
+		return Result{}, &BadInputError{msg: fmt.Sprintf(
+			"infer: input has %d values; model %s wants %d (shape %v)",
+			len(input), b.spec.Name, b.spec.InSize(), b.spec.InShape)}
+	}
+	r := &request{ctx: ctx, input: input, out: make(chan reply, 1)}
+	select {
+	case b.reqs <- r:
+		b.requests.Add(1)
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-b.done:
+		return Result{}, ErrClosed
+	}
+	select {
+	case rep := <-r.out:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		// The dispatcher drops this request when its batch assembles.
+		return Result{}, ctx.Err()
+	case <-b.done:
+		// The loop drains the queue with ErrClosed replies before signalling
+		// done; prefer a reply that raced in.
+		select {
+		case rep := <-r.out:
+			return rep.res, rep.err
+		default:
+			return Result{}, ErrClosed
+		}
+	}
+}
+
+// Close stops the dispatch loop. Queued and future requests fail with
+// ErrClosed; the in-progress batch (if any) completes first.
+func (b *Batcher) Close() {
+	close(b.stop)
+	<-b.done
+}
+
+// loop is the dispatcher: assemble a batch (flush on max-batch or
+// deadline), drop cancelled requests without stalling the flush, run the
+// predictor, fan results out.
+func (b *Batcher) loop() {
+	defer close(b.done)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	batch := make([]*request, 0, b.cfg.MaxBatch)
+	for {
+		select {
+		case <-b.stop:
+			b.drain(batch)
+			return
+		case r := <-b.reqs:
+			batch = append(batch[:0], r)
+			timer.Reset(b.cfg.MaxDelay)
+		}
+		full := false
+	collect:
+		for {
+			// A cancelled request frees its slot for later arrivals.
+			batch = b.sweepCancelled(batch)
+			if len(batch) >= b.cfg.MaxBatch {
+				full = true
+				timer.Stop()
+				break collect
+			}
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				b.flush(batch, false)
+				b.drain(nil)
+				return
+			}
+		}
+		b.flush(batch, full)
+		batch = batch[:0]
+	}
+}
+
+// sweepCancelled drops requests whose context ended while they waited.
+func (b *Batcher) sweepCancelled(batch []*request) []*request {
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx.Err() != nil {
+			b.cancelled.Add(1)
+			continue
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
+// flush serves one assembled batch.
+func (b *Batcher) flush(batch []*request, full bool) {
+	batch = b.sweepCancelled(batch)
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	in := b.spec.InSize()
+	for i, r := range batch {
+		copy(b.xdata[i*in:(i+1)*in], r.input)
+	}
+	x := b.views[n-1]
+	if x == nil {
+		x = tensor.FromSlice(b.xdata[:n*in], append([]int{n}, b.spec.InShape...)...)
+		b.views[n-1] = x
+	}
+	logits := b.pred.Forward(x)
+	b.batches.Add(1)
+	b.items.Add(int64(n))
+	if full {
+		b.fullFlushes.Add(1)
+	} else {
+		b.deadlineFlushes.Add(1)
+	}
+	k := logits.Shape[1]
+	for i, r := range batch {
+		row := logits.Data[i*k : (i+1)*k]
+		res := Result{Logits: append([]float64(nil), row...), BatchSize: n}
+		for j := 1; j < k; j++ {
+			if row[j] > row[res.Argmax] {
+				res.Argmax = j
+			}
+		}
+		r.out <- reply{res: res}
+	}
+}
+
+// drain rejects the remaining queued work at shutdown.
+func (b *Batcher) drain(batch []*request) {
+	for _, r := range batch {
+		r.out <- reply{err: ErrClosed}
+	}
+	for {
+		select {
+		case r := <-b.reqs:
+			r.out <- reply{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// Stats is the batcher's counter snapshot (the infer section of /v1/stats).
+type Stats struct {
+	Model    string  `json:"model"`
+	MaxBatch int     `json:"max_batch"`
+	MaxDelay string  `json:"max_delay"`
+	QueueCap int     `json:"queue_cap"`
+	PackedKB float64 `json:"packed_weight_kb"`
+
+	Requests        int64 `json:"requests"`
+	Items           int64 `json:"items"`
+	Batches         int64 `json:"batches"`
+	FullFlushes     int64 `json:"full_flushes"`
+	DeadlineFlushes int64 `json:"deadline_flushes"`
+	Cancelled       int64 `json:"cancelled"`
+	QueueDepth      int   `json:"queue_depth"`
+	// MeanBatchSize is items/batches — the coalescing headline: >1 means
+	// concurrent requests actually shared forward passes.
+	MeanBatchSize float64 `json:"mean_batch_size"`
+}
+
+// Stats snapshots the counters.
+func (b *Batcher) Stats() Stats {
+	st := Stats{
+		Model:           b.spec.Name,
+		MaxBatch:        b.cfg.MaxBatch,
+		MaxDelay:        b.cfg.MaxDelay.String(),
+		QueueCap:        b.cfg.QueueCap,
+		Requests:        b.requests.Load(),
+		Items:           b.items.Load(),
+		Batches:         b.batches.Load(),
+		FullFlushes:     b.fullFlushes.Load(),
+		DeadlineFlushes: b.deadlineFlushes.Load(),
+		Cancelled:       b.cancelled.Load(),
+		QueueDepth:      len(b.reqs),
+	}
+	if p, ok := b.pred.(interface{ PackedBytes() (int64, float64) }); ok {
+		bytes, _ := p.PackedBytes()
+		st.PackedKB = float64(bytes) / 1024
+	}
+	if st.Batches > 0 {
+		st.MeanBatchSize = float64(st.Items) / float64(st.Batches)
+	}
+	return st
+}

@@ -1,0 +1,312 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testInput builds a valid input for spec from a seed.
+func testInput(spec ModelSpec, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]float64, spec.InSize())
+	for i := range in {
+		in[i] = rng.NormFloat64()
+	}
+	return in
+}
+
+func newTestBatcher(t *testing.T, cfg Config) *Batcher {
+	t.Helper()
+	b, err := New(MustLookup("smallcnn"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+// TestBatcherFullFlush: enough concurrent requests coalesce into one full
+// micro-batch well before the (generous) deadline.
+func TestBatcherFullFlush(t *testing.T) {
+	b := newTestBatcher(t, Config{MaxBatch: 4, MaxDelay: 2 * time.Second})
+	spec := b.Model()
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Infer(context.Background(), testInput(spec, int64(i)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("full batch waited %v — it must flush on max-batch, not the deadline", elapsed)
+	}
+	for i, res := range results {
+		if res.BatchSize != 4 {
+			t.Errorf("request %d served at batch size %d, want 4", i, res.BatchSize)
+		}
+		if len(res.Logits) != spec.Classes {
+			t.Errorf("request %d: %d logits, want %d", i, len(res.Logits), spec.Classes)
+		}
+	}
+	st := b.Stats()
+	if st.FullFlushes < 1 || st.Items != 4 || st.Requests != 4 {
+		t.Errorf("stats after full flush: %+v", st)
+	}
+}
+
+// TestBatcherDeadlineFlush: a partial batch flushes when the coalesce
+// deadline expires instead of waiting for max-batch forever.
+func TestBatcherDeadlineFlush(t *testing.T) {
+	b := newTestBatcher(t, Config{MaxBatch: 8, MaxDelay: 30 * time.Millisecond})
+	spec := b.Model()
+	var wg sync.WaitGroup
+	var batchSizes [3]int
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Infer(context.Background(), testInput(spec, int64(i)))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			batchSizes[i] = res.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	for i, n := range batchSizes {
+		if n == 0 || n > 3 {
+			t.Errorf("request %d served at batch size %d, want 1..3", i, n)
+		}
+	}
+	st := b.Stats()
+	if st.DeadlineFlushes < 1 {
+		t.Errorf("no deadline flush recorded: %+v", st)
+	}
+	if st.Items != 3 {
+		t.Errorf("items = %d, want 3", st.Items)
+	}
+}
+
+// TestBatcherCancelMidBatch: a request cancelled while queued frees its
+// batch slot — the caller returns immediately with its context error, the
+// remaining partial batch still flushes on the deadline without it, and the
+// cancellation is counted.
+func TestBatcherCancelMidBatch(t *testing.T) {
+	b := newTestBatcher(t, Config{MaxBatch: 8, MaxDelay: 150 * time.Millisecond})
+	spec := b.Model()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(ctx, testInput(spec, 0))
+		errc <- err
+	}()
+	// Two durable peers join the same assembling batch.
+	var wg sync.WaitGroup
+	sizes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Infer(context.Background(), testInput(spec, int64(i+1)))
+			if err != nil {
+				t.Errorf("peer %d: %v", i, err)
+				return
+			}
+			sizes[i] = res.BatchSize
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let all three enqueue
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request returned %v, want context.Canceled", err)
+	}
+	wg.Wait()
+	for i, n := range sizes {
+		if n != 2 {
+			t.Errorf("peer %d served at batch size %d, want 2 (cancelled slot freed)", i, n)
+		}
+	}
+	st := b.Stats()
+	if st.Cancelled != 1 {
+		t.Errorf("cancelled = %d, want 1", st.Cancelled)
+	}
+	if st.Items != 2 {
+		t.Errorf("items = %d, want 2 (the cancelled request must not be served)", st.Items)
+	}
+}
+
+// TestBatcherCancelFreesSlotForArrival: with MaxBatch 2, a cancelled
+// waiter's slot goes to a later arrival — the flush is a full batch of the
+// two live requests, not a premature flush with a dead slot.
+func TestBatcherCancelFreesSlotForArrival(t *testing.T) {
+	b := newTestBatcher(t, Config{MaxBatch: 2, MaxDelay: 300 * time.Millisecond})
+	spec := b.Model()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.Infer(ctx, testInput(spec, 0))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	<-errc
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	sizes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := b.Infer(context.Background(), testInput(spec, int64(i+1)))
+			if err != nil {
+				t.Errorf("arrival %d: %v", i, err)
+				return
+			}
+			sizes[i] = res.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("arrivals waited %v for the deadline; the freed slot should have full-flushed them", elapsed)
+	}
+	for i, n := range sizes {
+		if n != 2 {
+			t.Errorf("arrival %d served at batch size %d, want 2", i, n)
+		}
+	}
+}
+
+// TestBatcherBadInput: a wrong-sized input fails fast with a typed error
+// and never reaches the queue.
+func TestBatcherBadInput(t *testing.T) {
+	b := newTestBatcher(t, Config{})
+	_, err := b.Infer(context.Background(), make([]float64, 3))
+	var bad *BadInputError
+	if !errors.As(err, &bad) {
+		t.Fatalf("got %v, want a BadInputError", err)
+	}
+	if st := b.Stats(); st.Requests != 0 {
+		t.Errorf("bad input counted as a request: %+v", st)
+	}
+}
+
+// TestBatcherClose: requests after Close fail with ErrClosed; Close is
+// idempotent-safe for queued work (drained with ErrClosed, not leaked).
+func TestBatcherClose(t *testing.T) {
+	b, err := New(MustLookup("smallcnn"), Config{MaxDelay: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := b.Infer(context.Background(), testInput(b.Model(), 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherConcurrentLoad is the race-detector workout: many concurrent
+// clients, every request served exactly once with deterministic logits
+// (identical input -> identical logits regardless of batch composition),
+// and real coalescing under load.
+func TestBatcherConcurrentLoad(t *testing.T) {
+	b := newTestBatcher(t, Config{MaxBatch: 8, MaxDelay: time.Millisecond})
+	spec := b.Model()
+	const total, workers, patterns = 120, 8, 4
+
+	inputs := make([][]float64, patterns)
+	for i := range inputs {
+		inputs[i] = testInput(spec, int64(i))
+	}
+	var refMu sync.Mutex
+	refs := make(map[int][]float64, patterns)
+	var next, failures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total {
+					return
+				}
+				pat := i % patterns
+				res, err := b.Infer(context.Background(), inputs[pat])
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("request %d: %v", i, err)
+					continue
+				}
+				refMu.Lock()
+				if ref, ok := refs[pat]; !ok {
+					refs[pat] = append([]float64(nil), res.Logits...)
+				} else {
+					for j := range ref {
+						if ref[j] != res.Logits[j] {
+							t.Errorf("pattern %d: logits differ across micro-batches", pat)
+							break
+						}
+					}
+				}
+				refMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Items != total {
+		t.Errorf("items = %d, want %d", st.Items, total)
+	}
+	if st.Batches >= total {
+		t.Errorf("no coalescing: %d batches for %d requests", st.Batches, total)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f, want > 1 under %d concurrent workers", st.MeanBatchSize, workers)
+	}
+}
+
+// TestModelRegistry sanity-checks the registry surface.
+func TestModelRegistry(t *testing.T) {
+	names := Models()
+	if len(names) < 2 {
+		t.Fatalf("registry has %d models", len(names))
+	}
+	for _, name := range names {
+		sp, ok := Lookup(name)
+		if !ok || sp.Name != name {
+			t.Fatalf("Lookup(%q) = %+v, %v", name, sp, ok)
+		}
+		if sp.InSize() <= 0 || sp.Classes <= 0 {
+			t.Fatalf("%s: bad spec %+v", name, sp)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup accepted an unknown model")
+	}
+	// Fixed seeds: two builds serve identical weights.
+	sp := MustLookup("mlp")
+	a, b := sp.Build(), sp.Build()
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if d := pa[i].Data.MaxAbsDiff(pb[i].Data); d != 0 {
+			t.Fatalf("%s: rebuilt weights differ by %g", pa[i].Name, d)
+		}
+	}
+}

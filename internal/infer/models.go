@@ -1,0 +1,104 @@
+// Package infer is the batched inference serving subsystem: a small
+// registry of servable models compiled onto the nn engine's fused,
+// pack-reusing fast path (nn.Predictor), and a micro-batcher that coalesces
+// concurrent single-sample requests into one forward pass.
+//
+// The batcher is the serving-side enactment of the paper's thesis: a lone
+// request streams every weight panel from memory for one row of work, while
+// a coalesced micro-batch reuses each decoded panel across all of its rows,
+// turning a bandwidth-bound call into a compute-bound one. Grouping work to
+// reuse on-chip data is exactly what the simulator's MBS schedules do for
+// training — here the serving stack practices it.
+package infer
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// ModelSpec names one servable model. Weights are generated from a fixed
+// seed at build time, so every process serving the same spec serves
+// identical weights (and identical logits — the predictor's output is
+// deterministic and batch-composition independent).
+type ModelSpec struct {
+	// Name is the registry key ("smallcnn", "mlp", ...).
+	Name string
+	// Description is a one-line summary for discovery endpoints.
+	Description string
+	// InShape is the per-sample input shape.
+	InShape []int
+	// Classes is the per-sample output width.
+	Classes int
+
+	seed  int64
+	build func(rng *rand.Rand) *nn.Model
+}
+
+// InSize returns the flattened per-sample input length.
+func (sp ModelSpec) InSize() int {
+	n := 1
+	for _, d := range sp.InShape {
+		n *= d
+	}
+	return n
+}
+
+// Build constructs the model with its fixed weights.
+func (sp ModelSpec) Build() *nn.Model { return sp.build(rand.New(rand.NewSource(sp.seed))) }
+
+// NewPredictor compiles the spec's model for serving at the given maximum
+// batch.
+func (sp ModelSpec) NewPredictor(maxBatch int) (*nn.Predictor, error) {
+	return nn.NewPredictor(sp.Build(), sp.InShape, maxBatch)
+}
+
+var registry = map[string]ModelSpec{
+	"smallcnn": {
+		Name:        "smallcnn",
+		Description: "the Fig. 6 substitute classifier: 3 conv+GN+ReLU stages, GAP, linear head over 3x16x16 inputs",
+		InShape:     []int{3, 16, 16},
+		Classes:     8,
+		seed:        1234,
+		build: func(rng *rand.Rand) *nn.Model {
+			return nn.BuildSmallCNN(rng, 3, 16, 8, nn.NormGroup, 8)
+		},
+	},
+	"mlp": {
+		Name:        "mlp",
+		Description: "FC classifier (784-512-512-10), the weight-traffic-bound shape batching wins the most on",
+		InShape:     []int{784},
+		Classes:     10,
+		seed:        4321,
+		build: func(rng *rand.Rand) *nn.Model {
+			return nn.BuildMLP(rng, 784, []int{512, 512}, 10)
+		},
+	},
+}
+
+// Lookup returns the named model spec.
+func Lookup(name string) (ModelSpec, bool) {
+	sp, ok := registry[name]
+	return sp, ok
+}
+
+// Models lists the registry names in stable order.
+func Models() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MustLookup is Lookup for callers with a static name.
+func MustLookup(name string) ModelSpec {
+	sp, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("infer: unknown model %q", name))
+	}
+	return sp
+}

@@ -120,6 +120,10 @@ type Conv2D struct {
 	// Persistent buffers for the GEMM engine's allocation-free path.
 	out outBufs
 	dx  *tensor.Tensor
+	// col retains the training forward's im2col packing (one [K, M] matrix
+	// per sample) so Backward reuses it instead of re-lowering x: the input
+	// is packed once per step, not once per pass.
+	col []float64
 }
 
 // NewConv2D builds a convolution with He-normal initialization.
@@ -137,7 +141,8 @@ func NewConv2D(name string, rng *rand.Rand, inC, outC, k, stride, pad int) *Conv
 	}
 }
 
-// Forward runs the convolution, caching the input for backward.
+// Forward runs the convolution, caching the input (and, on the GEMM
+// engine, its im2col packing) for backward.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.x = x
@@ -145,7 +150,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if reuseBuffers() {
 		oh, ow := c.Spec.OutDims(x.Shape[2], x.Shape[3])
 		out := ensure4(c.out.sel(train), x.Shape[0], c.Spec.OutC, oh, ow)
-		tensor.Conv2DInto(out, x, c.Weight.Data, c.Bias.Data, c.Spec)
+		if !train {
+			tensor.Conv2DFusedInto(out, x, c.Weight.Data, c.Bias.Data, c.Spec, false)
+			return out
+		}
+		if n := x.Shape[0] * c.Spec.InC * c.Spec.KH * c.Spec.KW * oh * ow; len(c.col) != n {
+			c.col = make([]float64, n)
+		}
+		tensor.Conv2DFusedColInto(out, x, c.Weight.Data, c.Bias.Data, c.Spec, false, c.col)
 		return out
 	}
 	return tensor.Conv2D(x, c.Weight.Data, c.Bias.Data, c.Spec)
@@ -155,9 +167,10 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if reuseBuffers() {
 		// Gradients accumulate straight into the Param buffers — no
-		// intermediate dw/db tensors.
+		// intermediate dw/db tensors — and the backward GEMMs consume the
+		// im2col packing the forward pass already built.
 		dx := ensureLike(&c.dx, c.x)
-		tensor.Conv2DBackwardInto(dx, c.Weight.Grad, c.Bias.Grad, c.x, c.Weight.Data, dy, c.Spec)
+		tensor.Conv2DBackwardColInto(dx, c.Weight.Grad, c.Bias.Grad, c.col, c.x, c.Weight.Data, dy, c.Spec)
 		return dx
 	}
 	dx, dw, db := tensor.Conv2DBackward(c.x, c.Weight.Data, dy, c.Spec)
@@ -200,13 +213,7 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	if reuseBuffers() {
 		out := ensure2(l.out.sel(train), n, l.Out)
-		tensor.MatMulInto(out, x, l.Weight.Data)
-		for i := 0; i < n; i++ {
-			row := out.Data[i*l.Out : (i+1)*l.Out]
-			for o, b := range l.Bias.Data.Data {
-				row[o] += b
-			}
-		}
+		tensor.LinearInto(out, x, l.Weight.Data, l.Bias.Data, false)
 		return out
 	}
 	out := tensor.New(n, l.Out)

@@ -196,7 +196,10 @@ func NewGroupNorm(name string, c, groups int) *GroupNorm {
 	}
 }
 
-// Forward normalizes each (sample, group) slice independently.
+// Forward normalizes each (sample, group) slice independently. All loops
+// walk the (sample, group) slices contiguously — same element order as the
+// original quadruple loops (bit-identical sums), without the per-element
+// NCHW index arithmetic, since a group is a contiguous [cpg*H*W] run.
 func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	validateShape(x, 4, "GroupNorm")
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
@@ -207,7 +210,8 @@ func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		out = tensor.New(x.Shape...)
 	}
 	cpg := c / gn.Groups
-	cnt := float64(cpg * h * w)
+	hw := h * w
+	cnt := float64(cpg * hw)
 	if train {
 		gn.x = x
 		if reuseBuffers() {
@@ -222,37 +226,38 @@ func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	for ni := 0; ni < n; ni++ {
 		for gi := 0; gi < gn.Groups; gi++ {
+			lo := (ni*c + gi*cpg) * hw
+			gx := x.Data[lo : lo+cpg*hw]
 			var sum float64
-			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
-				for hi := 0; hi < h; hi++ {
-					for wi := 0; wi < w; wi++ {
-						sum += x.At4(ni, ci, hi, wi)
-					}
-				}
+			for _, v := range gx {
+				sum += v
 			}
 			mean := sum / cnt
 			var vsum float64
-			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
-				for hi := 0; hi < h; hi++ {
-					for wi := 0; wi < w; wi++ {
-						d := x.At4(ni, ci, hi, wi) - mean
-						vsum += d * d
-					}
-				}
+			for _, v := range gx {
+				d := v - mean
+				vsum += d * d
 			}
 			inv := 1 / math.Sqrt(vsum/cnt+normEps)
 			if train {
 				gn.invStd[ni*gn.Groups+gi] = inv
 			}
-			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
-				g, be := gn.Gamma.Data.Data[ci], gn.Beta.Data.Data[ci]
-				for hi := 0; hi < h; hi++ {
-					for wi := 0; wi < w; wi++ {
-						xh := (x.At4(ni, ci, hi, wi) - mean) * inv
-						if train {
-							gn.xhat.Set4(ni, ci, hi, wi, xh)
-						}
-						out.Set4(ni, ci, hi, wi, g*xh+be)
+			gout := out.Data[lo : lo+cpg*hw]
+			if train {
+				gxh := gn.xhat.Data[lo : lo+cpg*hw]
+				for ci := 0; ci < cpg; ci++ {
+					g, be := gn.Gamma.Data.Data[gi*cpg+ci], gn.Beta.Data.Data[gi*cpg+ci]
+					for j := ci * hw; j < (ci+1)*hw; j++ {
+						xh := (gx[j] - mean) * inv
+						gxh[j] = xh
+						gout[j] = g*xh + be
+					}
+				}
+			} else {
+				for ci := 0; ci < cpg; ci++ {
+					g, be := gn.Gamma.Data.Data[gi*cpg+ci], gn.Beta.Data.Data[gi*cpg+ci]
+					for j := ci * hw; j < (ci+1)*hw; j++ {
+						gout[j] = g*(gx[j]-mean)*inv + be
 					}
 				}
 			}
@@ -262,7 +267,8 @@ func (gn *GroupNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
-// Backward computes GN gradients per (sample, group).
+// Backward computes GN gradients per (sample, group), over contiguous
+// channel rows (same accumulation order as the original quadruple loops).
 func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
 	var dx *tensor.Tensor
@@ -272,42 +278,44 @@ func (gn *GroupNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		dx = tensor.New(dy.Shape...)
 	}
 	cpg := c / gn.Groups
-	cnt := float64(cpg * h * w)
+	hw := h * w
+	cnt := float64(cpg * hw)
 	// Parameter gradients reduce over batch and spatial dims per channel.
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
-			for hi := 0; hi < h; hi++ {
-				for wi := 0; wi < w; wi++ {
-					g := dy.At4(ni, ci, hi, wi)
-					gn.Beta.Grad.Data[ci] += g
-					gn.Gamma.Grad.Data[ci] += g * gn.xhat.At4(ni, ci, hi, wi)
-				}
+			row := (ni*c + ci) * hw
+			dyr := dy.Data[row : row+hw]
+			xhr := gn.xhat.Data[row : row+hw]
+			var sumDy, sumDyXhat float64
+			for j, g := range dyr {
+				sumDy += g
+				sumDyXhat += g * xhr[j]
 			}
+			gn.Beta.Grad.Data[ci] += sumDy
+			gn.Gamma.Grad.Data[ci] += sumDyXhat
 		}
 	}
 	for ni := 0; ni < n; ni++ {
 		for gi := 0; gi < gn.Groups; gi++ {
+			lo := (ni*c + gi*cpg) * hw
+			dyg := dy.Data[lo : lo+cpg*hw]
+			xhg := gn.xhat.Data[lo : lo+cpg*hw]
 			var sumG, sumGXhat float64
-			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
-				gamma := gn.Gamma.Data.Data[ci]
-				for hi := 0; hi < h; hi++ {
-					for wi := 0; wi < w; wi++ {
-						g := dy.At4(ni, ci, hi, wi) * gamma
-						sumG += g
-						sumGXhat += g * gn.xhat.At4(ni, ci, hi, wi)
-					}
+			for ci := 0; ci < cpg; ci++ {
+				gamma := gn.Gamma.Data.Data[gi*cpg+ci]
+				for j := ci * hw; j < (ci+1)*hw; j++ {
+					g := dyg[j] * gamma
+					sumG += g
+					sumGXhat += g * xhg[j]
 				}
 			}
 			inv := gn.invStd[ni*gn.Groups+gi]
-			for ci := gi * cpg; ci < (gi+1)*cpg; ci++ {
-				gamma := gn.Gamma.Data.Data[ci]
-				for hi := 0; hi < h; hi++ {
-					for wi := 0; wi < w; wi++ {
-						g := dy.At4(ni, ci, hi, wi) * gamma
-						xh := gn.xhat.At4(ni, ci, hi, wi)
-						v := inv * (g - sumG/cnt - xh*sumGXhat/cnt)
-						dx.Set4(ni, ci, hi, wi, v)
-					}
+			dxg := dx.Data[lo : lo+cpg*hw]
+			for ci := 0; ci < cpg; ci++ {
+				gamma := gn.Gamma.Data.Data[gi*cpg+ci]
+				for j := ci * hw; j < (ci+1)*hw; j++ {
+					g := dyg[j] * gamma
+					dxg[j] = inv * (g - sumG/cnt - xhg[j]*sumGXhat/cnt)
 				}
 			}
 		}

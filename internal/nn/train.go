@@ -251,6 +251,22 @@ func PreActMean(l Layer) float64 {
 	}
 }
 
+// BuildMLP builds a fully connected classifier over flattened [N, in]
+// inputs: Linear+ReLU per hidden width, then a linear head. FC stacks are
+// the paper's bandwidth-bound extreme (AlexNet's classifier layers dominate
+// its weight traffic), which makes this the model where batched inference
+// has the most on-chip reuse to win back.
+func BuildMLP(rng *rand.Rand, in int, hidden []int, classes int) *Model {
+	var layers []Layer
+	c := in
+	for i, h := range hidden {
+		layers = append(layers, NewLinear(fmt.Sprintf("fc%d", i+1), rng, c, h), &ReLU{})
+		c = h
+	}
+	layers = append(layers, NewLinear("head", rng, c, classes))
+	return &Model{Net: &Sequential{Layers: layers}}
+}
+
 // BuildSmallCNN builds the Fig. 6 substitute classifier for inC x size x
 // size inputs and `classes` outputs:
 //

@@ -35,18 +35,23 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
+	"repro/internal/infer"
 	"repro/internal/jobs"
 	"repro/internal/report"
 	"repro/internal/sweep"
+	"repro/internal/tensor"
 )
 
 // Config sizes the service.
@@ -61,6 +66,14 @@ type Config struct {
 	// MaxRetainedJobs bounds terminal v2 jobs kept for status queries
 	// (0 = the jobs package default).
 	MaxRetainedJobs int
+	// InferModel selects the model POST /v2/infer serves ("" = smallcnn;
+	// see infer.Models for the registry).
+	InferModel string
+	// InferMaxBatch, InferMaxDelay and InferQueueCap are the micro-batcher
+	// knobs (zero values = the infer package defaults).
+	InferMaxBatch int
+	InferMaxDelay time.Duration
+	InferQueueCap int
 }
 
 // Server executes registry scenarios on one shared engine.
@@ -68,6 +81,7 @@ type Server struct {
 	engine      *sweep.Engine
 	runner      experiments.Runner
 	jobs        *jobs.Manager
+	batcher     *infer.Batcher
 	sem         chan struct{}
 	maxInFlight int
 	queueWait   atomic.Int64 // v1 requests waiting for a slot
@@ -76,7 +90,9 @@ type Server struct {
 	cancelled   atomic.Int64 // v1 runs abandoned by their client
 }
 
-// New builds a server (and its engine and job manager) from cfg.
+// New builds a server (and its engine, job manager and inference batcher)
+// from cfg. It panics on an unknown inference model — a deployment
+// misconfiguration callers should catch at startup, not first request.
 func New(cfg Config) *Server {
 	e := sweep.New(cfg.Workers)
 	if cfg.CacheMaxBytes > 0 {
@@ -98,6 +114,23 @@ func New(cfg Config) *Server {
 		Slots:       s.sem,
 		MaxRetained: cfg.MaxRetainedJobs,
 	})
+	model := cfg.InferModel
+	if model == "" {
+		model = "smallcnn"
+	}
+	spec, ok := infer.Lookup(model)
+	if !ok {
+		panic(fmt.Sprintf("service: unknown inference model %q (have %v)", model, infer.Models()))
+	}
+	b, err := infer.New(spec, infer.Config{
+		MaxBatch: cfg.InferMaxBatch,
+		MaxDelay: cfg.InferMaxDelay,
+		QueueCap: cfg.InferQueueCap,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("service: compile inference model %q: %v", model, err))
+	}
+	s.batcher = b
 	return s
 }
 
@@ -107,12 +140,19 @@ func (s *Server) Engine() *sweep.Engine { return s.engine }
 // Jobs returns the v2 job manager.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
-// Close cancels every live job and waits for their executors to return.
+// Batcher returns the inference micro-batcher (tests inspect its counters).
+func (s *Server) Batcher() *infer.Batcher { return s.batcher }
+
+// Close cancels every live job and waits for their executors to return,
+// then stops the inference batcher (queued inferences fail with 503).
 // mbsd calls it before http.Server.Shutdown: cancelling jobs first closes
 // their streams, so the drain has no long-lived connections left to wait
 // on (a job allowed to outlive the drain window would be killed with the
 // process anyway).
-func (s *Server) Close() { s.jobs.Close() }
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.batcher.Close()
+}
 
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
@@ -120,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v2/infer", s.handleInfer)
 	s.jobs.Routes(mux)
 	mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
@@ -197,9 +238,18 @@ type StatsResponse struct {
 	Failed     int64 `json:"failed"`
 	// Cancelled counts v1 runs abandoned by their client (while queued or
 	// mid-run); v2 job cancellations are under Jobs.Cancellations.
-	Cancelled int64      `json:"cancelled"`
-	Jobs      jobs.Stats `json:"jobs"`
-	Cache     CacheStats `json:"cache"`
+	Cancelled int64       `json:"cancelled"`
+	Jobs      jobs.Stats  `json:"jobs"`
+	Cache     CacheStats  `json:"cache"`
+	Engine    EngineStats `json:"engine"`
+	Infer     infer.Stats `json:"infer"`
+}
+
+// EngineStats reports the active tensor.Engine configuration the inference
+// and training kernels run under.
+type EngineStats struct {
+	Kernel  string `json:"kernel"`  // "gemm" or "naive"
+	Threads int    `json:"threads"` // resolved kernel parallelism
 }
 
 // CacheStats is the JSON form of sweep.Stats.
@@ -235,6 +285,11 @@ func (s *Server) Stats() StatsResponse {
 		Failed:      s.failed.Load(),
 		Cancelled:   s.cancelled.Load(),
 		Jobs:        js,
+		Engine: EngineStats{
+			Kernel:  tensor.CurrentEngine().String(),
+			Threads: tensor.Threads(),
+		},
+		Infer: s.batcher.Stats(),
 		Cache: CacheStats{
 			Hits: st.Hits(), Misses: st.Misses(), Evictions: st.Evictions(),
 			HitRate: st.HitRate(), Bytes: st.Bytes, MaxBytes: st.MaxBytes,
@@ -348,4 +403,82 @@ func (s *Server) failRun(w http.ResponseWriter, scenario string, err error) {
 func (s *Server) fail(w http.ResponseWriter, e *api.Error) {
 	s.failed.Add(1)
 	api.Write(w, e)
+}
+
+// maxInferInputs caps how many samples one POST /v2/infer request may carry;
+// cross-request coalescing is the batcher's job, not the request body's.
+const maxInferInputs = 64
+
+// handleInfer serves POST /v2/infer: each input sample is submitted to the
+// micro-batcher independently (concurrently for multi-input requests), so
+// samples from this and other in-flight requests coalesce into shared
+// forward passes on the fused GEMM fast path.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	var req api.InferRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "",
+			"bad request body: %s", err))
+		return
+	}
+	if len(req.Inputs) == 0 {
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "",
+			"inputs is empty; send at least one sample"))
+		return
+	}
+	if len(req.Inputs) > maxInferInputs {
+		s.fail(w, api.Errorf(http.StatusBadRequest, api.CodeBadRequest, "",
+			"%d inputs exceed the per-request cap of %d", len(req.Inputs), maxInferInputs))
+		return
+	}
+	resp := api.InferResponse{
+		Model:      s.batcher.Model().Name,
+		Outputs:    make([][]float64, len(req.Inputs)),
+		Argmax:     make([]int, len(req.Inputs)),
+		BatchSizes: make([]int, len(req.Inputs)),
+	}
+	errs := make([]error, len(req.Inputs))
+	var wg sync.WaitGroup
+	for i, input := range req.Inputs {
+		wg.Add(1)
+		go func(i int, input []float64) {
+			defer wg.Done()
+			res, err := s.batcher.Infer(ctx, input)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Outputs[i] = res.Logits
+			resp.Argmax[i] = res.Argmax
+			resp.BatchSizes[i] = res.BatchSize
+		}(i, input)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			s.failInfer(w, err)
+			return
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// failInfer maps a batcher error onto the structured error surface.
+func (s *Server) failInfer(w http.ResponseWriter, err error) {
+	var bad *infer.BadInputError
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+		api.Write(w, api.Errorf(http.StatusServiceUnavailable, api.CodeCancelled,
+			"", "inference cancelled"))
+	case errors.As(err, &bad):
+		s.fail(w, api.Errorf(http.StatusUnprocessableEntity, api.CodeInvalidParams,
+			"", "%s", err))
+	case errors.Is(err, infer.ErrClosed):
+		s.fail(w, api.Errorf(http.StatusServiceUnavailable, api.CodeUnavailable,
+			"", "inference batcher is shut down"))
+	default:
+		s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
+			"", "%s", err))
+	}
 }

@@ -9,8 +9,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -21,6 +23,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	svc := New(cfg)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(svc.Close)
 	return svc, ts
 }
 
@@ -508,5 +511,206 @@ func TestStatsIncludesJobs(t *testing.T) {
 		if st.QueueDepth < 0 {
 			t.Errorf("%s: queue_depth = %d", path, st.QueueDepth)
 		}
+	}
+}
+
+// httpGet reads a GET endpoint's status and body.
+func httpGet(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// postInfer posts a /v2/infer request and returns the response.
+func postInfer(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v2/infer", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// testInferInputs renders n valid smallcnn inputs as a JSON body.
+func testInferInputs(n int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"inputs":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("[")
+		for j := 0; j < 3*16*16; j++ {
+			if j > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%g", float64((i*13+j*7)%11)/5.0-1.0)
+		}
+		sb.WriteString("]")
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// TestInferEndpoint: POST /v2/infer serves batched inference with per-input
+// logits, argmax and serving batch size, and /v1/stats reports the active
+// tensor engine config plus the batcher counters.
+func TestInferEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postInfer(t, ts, testInferInputs(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out api.InferResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Model != "smallcnn" {
+		t.Errorf("model = %q", out.Model)
+	}
+	if len(out.Outputs) != 3 || len(out.Argmax) != 3 || len(out.BatchSizes) != 3 {
+		t.Fatalf("response lengths: %d outputs, %d argmax, %d batch sizes",
+			len(out.Outputs), len(out.Argmax), len(out.BatchSizes))
+	}
+	for i, logits := range out.Outputs {
+		if len(logits) != 8 {
+			t.Errorf("input %d: %d logits, want 8", i, len(logits))
+		}
+		if out.BatchSizes[i] < 1 || out.BatchSizes[i] > 8 {
+			t.Errorf("input %d: batch size %d", i, out.BatchSizes[i])
+		}
+	}
+
+	// Identical request, possibly different batch composition: logits must
+	// be byte-identical (the determinism contract).
+	resp2, body2 := postInfer(t, ts, testInferInputs(3))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat: HTTP %d", resp2.StatusCode)
+	}
+	var out2 api.InferResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.Outputs {
+		for j := range out.Outputs[i] {
+			if out.Outputs[i][j] != out2.Outputs[i][j] {
+				t.Fatalf("logits differ across requests at [%d][%d]", i, j)
+			}
+		}
+	}
+
+	resp, body = httpGet(t, ts, "/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", resp.StatusCode)
+	}
+	var st StatsResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Kernel != "gemm" {
+		t.Errorf("engine.kernel = %q, want gemm", st.Engine.Kernel)
+	}
+	if st.Engine.Threads < 1 {
+		t.Errorf("engine.threads = %d", st.Engine.Threads)
+	}
+	if st.Infer.Model != "smallcnn" || st.Infer.MaxBatch != 8 {
+		t.Errorf("infer stats: %+v", st.Infer)
+	}
+	if st.Infer.Requests != 6 || st.Infer.Items != 6 {
+		t.Errorf("infer requests=%d items=%d, want 6/6", st.Infer.Requests, st.Infer.Items)
+	}
+	if st.Infer.Batches < 1 || st.Infer.MeanBatchSize < 1 {
+		t.Errorf("infer batches=%d mean=%.2f", st.Infer.Batches, st.Infer.MeanBatchSize)
+	}
+}
+
+// TestInferErrors: malformed bodies 400, wrong-sized inputs 422, and the
+// structured error body everywhere.
+func TestInferErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"malformed", `{"inputs":`, http.StatusBadRequest, api.CodeBadRequest},
+		{"empty", `{"inputs":[]}`, http.StatusBadRequest, api.CodeBadRequest},
+		{"wrong size", `{"inputs":[[1,2,3]]}`, http.StatusUnprocessableEntity, api.CodeInvalidParams},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postInfer(t, ts, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("HTTP %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			var e struct {
+				Error string `json:"error"`
+				Code  string `json:"code"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body not structured: %s", body)
+			}
+			if e.Code != tc.code || e.Error == "" {
+				t.Errorf("error body: %s", body)
+			}
+		})
+	}
+}
+
+// TestInferConcurrentClients: concurrent single-sample requests coalesce
+// into shared micro-batches (mean batch size > 1) with zero failures —
+// the serving-side form of the paper's grouping-for-reuse claim.
+func TestInferConcurrentClients(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	const total, workers = 48, 8
+	var next, failures, batchSum atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= total {
+					return
+				}
+				resp, body := postInfer(t, ts, testInferInputs(1))
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("request %d: HTTP %d: %s", i, resp.StatusCode, body)
+					continue
+				}
+				var out api.InferResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					failures.Add(1)
+					continue
+				}
+				batchSum.Add(int64(out.BatchSizes[0]))
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures", failures.Load())
+	}
+	st := svc.Batcher().Stats()
+	if st.Items != total {
+		t.Errorf("items = %d, want %d", st.Items, total)
+	}
+	if st.MeanBatchSize <= 1 {
+		t.Errorf("mean batch size %.2f, want > 1 under %d workers", st.MeanBatchSize, workers)
 	}
 }

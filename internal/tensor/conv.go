@@ -101,6 +101,32 @@ func Conv2DBackward(x, weight, dy *Tensor, s ConvSpec) (dx, dw, db *Tensor) {
 // (+=) — so parameter gradients can land directly in a trainer's gradient
 // buffers without an intermediate tensor.
 func Conv2DBackwardInto(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
+	validateConvBackward(dx, dwAcc, dbAcc, x, weight, dy, s)
+	if CurrentEngine() == EngineNaive {
+		conv2DNaiveBackwardInto(dx, dwAcc, dbAcc, x, weight, dy, s)
+		return
+	}
+	conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy, nil, s)
+}
+
+// Conv2DBackwardColInto is Conv2DBackwardInto reusing the im2col packing
+// the forward pass retained via Conv2DFusedColInto (col must be the same
+// buffer, still valid for the same x): the backward GEMMs consume it
+// directly instead of re-lowering x — the step's second full pass over the
+// input becomes a no-op. GEMM engine only; results are bit-identical to
+// Conv2DBackwardInto.
+func Conv2DBackwardColInto(dx, dwAcc, dbAcc *Tensor, col []float64, x, weight, dy *Tensor, s ConvSpec) {
+	validateConvBackward(dx, dwAcc, dbAcc, x, weight, dy, s)
+	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+	if want := x.Shape[0] * s.InC * s.KH * s.KW * oh * ow; len(col) != want {
+		panic(fmt.Sprintf("tensor: conv backward col buffer %d, want %d", len(col), want))
+	}
+	conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy, col, s)
+}
+
+// validateConvBackward panics with a readable message on gradient-buffer
+// shape mismatches.
+func validateConvBackward(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := s.OutDims(h, w)
 	if dy.Shape[0] != n || dy.Shape[1] != s.OutC || dy.Shape[2] != oh || dy.Shape[3] != ow {
@@ -116,11 +142,6 @@ func Conv2DBackwardInto(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
 	if len(dbAcc.Shape) != 1 || dbAcc.Shape[0] != s.OutC {
 		panic(fmt.Sprintf("tensor: db shape %v, want [%d]", dbAcc.Shape, s.OutC))
 	}
-	if CurrentEngine() == EngineNaive {
-		conv2DNaiveBackwardInto(dx, dwAcc, dbAcc, x, weight, dy, s)
-		return
-	}
-	conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy, s)
 }
 
 // Conv2DBackwardNaive is the direct reference backward pass (fresh output

@@ -21,10 +21,18 @@ package tensor
 // cells get 0), so col needs no pre-zeroing.
 func im2colSample(col []float64, x *Tensor, ni int, s ConvSpec, oh, ow int) {
 	h, w := x.Shape[2], x.Shape[3]
+	chw := x.Shape[1] * h * w
+	im2colRaw(col, x.Data[ni*chw:(ni+1)*chw], h, w, s, oh, ow)
+}
+
+// im2colRaw is im2colSample over one sample's raw [InC*H*W] storage — the
+// form the inference path uses after decoding a sample's fp16 activations
+// into a pooled slab.
+func im2colRaw(col, xs []float64, h, w int, s ConvSpec, oh, ow int) {
 	m := oh * ow
 	p := 0
 	for ic := 0; ic < s.InC; ic++ {
-		base := (ni*x.Shape[1] + ic) * h * w
+		base := ic * h * w
 		for ky := 0; ky < s.KH; ky++ {
 			for kx := 0; kx < s.KW; kx++ {
 				dst := col[p*m : (p+1)*m]
@@ -38,7 +46,7 @@ func im2colSample(col []float64, x *Tensor, ni int, s ConvSpec, oh, ow int) {
 						}
 						continue
 					}
-					xrow := x.Data[base+iy*w : base+(iy+1)*w]
+					xrow := xs[base+iy*w : base+(iy+1)*w]
 					ix := kx - s.PadW
 					for ox := 0; ox < ow; ox++ {
 						if ix >= 0 && ix < w {
@@ -90,62 +98,43 @@ func col2imSample(dcol []float64, dx *Tensor, ni int, s ConvSpec, oh, ow int) {
 	}
 }
 
-// conv2DGEMMRange runs the forward lowering for samples [lo,hi) with one
-// pooled im2col slab.
-func conv2DGEMMRange(out, x, weight, bias *Tensor, s ConvSpec, oh, ow, lo, hi int) {
-	k := s.InC * s.KH * s.KW
-	m := oh * ow
-	col := getSlab(k * m)
-	defer col.put()
-	for ni := lo; ni < hi; ni++ {
-		im2colSample(col.f, x, ni, s, oh, ow)
-		dst := out.Data[ni*s.OutC*m : (ni+1)*s.OutC*m]
-		for oc := 0; oc < s.OutC; oc++ {
-			b := 0.0
-			if bias != nil {
-				b = bias.Data[oc]
-			}
-			row := dst[oc*m : (oc+1)*m]
-			for j := range row {
-				row[j] = b
-			}
-		}
-		gemmAcc(s.OutC, k, m, weight.Data, k, col.f, m, dst, m)
-	}
-}
-
-// conv2DGEMM writes the convolution of x into out (overwriting it).
+// conv2DGEMM writes the convolution of x into out (overwriting it), via the
+// fused-epilogue kernel: the bias rides in the GEMM output loop instead of a
+// prefill pass over the output (see fused.go).
 func conv2DGEMM(out, x, weight, bias *Tensor, s ConvSpec) {
-	n := x.Shape[0]
-	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
-	if Threads() <= 1 || n == 1 {
-		conv2DGEMMRange(out, x, weight, bias, s, oh, ow, 0, n)
-		return
-	}
-	parallelFor(n, func(lo, hi int) {
-		conv2DGEMMRange(out, x, weight, bias, s, oh, ow, lo, hi)
-	})
+	Conv2DFusedInto(out, x, weight, bias, s, false)
 }
 
 // conv2DBackwardGEMMRange runs the backward lowering for samples [lo,hi):
 // dx sample regions are overwritten and per-sample dw partials land in
-// dwPart; db is left to the sequential reduction.
-func conv2DBackwardGEMMRange(dx, x, weight, dy *Tensor, dwPart []float64, s ConvSpec, oh, ow, lo, hi int) {
+// dwPart; db is left to the sequential reduction. When colAll is non-nil it
+// holds every sample's im2col packing retained by the forward pass
+// (Conv2DFusedColInto) and the re-lowering of x is skipped entirely.
+func conv2DBackwardGEMMRange(dx, x, weight, dy *Tensor, dwPart, colAll []float64, s ConvSpec, oh, ow, lo, hi int) {
 	h, w := x.Shape[2], x.Shape[3]
 	k := s.InC * s.KH * s.KW
 	m := oh * ow
 	wsize := s.OutC * k
-	col := getSlab(k * m)
+	var colSlab *slab
+	if colAll == nil {
+		colSlab = getSlab(k * m)
+		defer colSlab.put()
+	}
 	dcol := getSlab(k * m)
-	defer col.put()
 	defer dcol.put()
 	for ni := lo; ni < hi; ni++ {
-		im2colSample(col.f, x, ni, s, oh, ow)
+		var col []float64
+		if colAll != nil {
+			col = colAll[ni*k*m : (ni+1)*k*m]
+		} else {
+			col = colSlab.f
+			im2colSample(col, x, ni, s, oh, ow)
+		}
 		dyn := dy.Data[ni*s.OutC*m : (ni+1)*s.OutC*m]
 		// dw partial: dy_n [OutC, M] x col_n^T [M, K].
 		dwp := dwPart[ni*wsize : (ni+1)*wsize]
 		zeroFloats(dwp)
-		gemmNTAcc(s.OutC, m, k, dyn, m, col.f, m, dwp, k)
+		gemmNTAcc(s.OutC, m, k, dyn, m, col, m, dwp, k)
 		// dcol = W^T [K, OutC] x dy_n [OutC, M], then scatter to dx.
 		zeroFloats(dcol.f)
 		gemmTNAcc(0, k, s.OutC, m, weight.Data, k, dyn, m, dcol.f, m)
@@ -155,8 +144,10 @@ func conv2DBackwardGEMMRange(dx, x, weight, dy *Tensor, dwPart []float64, s Conv
 }
 
 // conv2DBackwardGEMM overwrites dx with the data gradient and accumulates
-// (+=) the weight and bias gradients into dwAcc and dbAcc.
-func conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
+// (+=) the weight and bias gradients into dwAcc and dbAcc. colAll, when
+// non-nil, is the forward pass's retained im2col packing (see
+// Conv2DBackwardColInto).
+func conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy *Tensor, colAll []float64, s ConvSpec) {
 	n := x.Shape[0]
 	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
 	k := s.InC * s.KH * s.KW
@@ -164,10 +155,10 @@ func conv2DBackwardGEMM(dx, dwAcc, dbAcc, x, weight, dy *Tensor, s ConvSpec) {
 	wsize := s.OutC * k
 	dwPart := getSlab(n * wsize)
 	if Threads() <= 1 || n == 1 {
-		conv2DBackwardGEMMRange(dx, x, weight, dy, dwPart.f, s, oh, ow, 0, n)
+		conv2DBackwardGEMMRange(dx, x, weight, dy, dwPart.f, colAll, s, oh, ow, 0, n)
 	} else {
 		parallelFor(n, func(lo, hi int) {
-			conv2DBackwardGEMMRange(dx, x, weight, dy, dwPart.f, s, oh, ow, lo, hi)
+			conv2DBackwardGEMMRange(dx, x, weight, dy, dwPart.f, colAll, s, oh, ow, lo, hi)
 		})
 	}
 	// Deterministic reductions, ascending sample order regardless of how the

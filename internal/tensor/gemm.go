@@ -51,38 +51,71 @@ func gemmAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float6
 
 // gemmNTAcc computes C[m,n] += A[m,k] * B[n,k]^T.
 // Each output element is a dot product of two contiguous rows, summed in
-// ascending k order.
+// ascending k order. Columns are processed in tiles of four B rows that
+// stay L1-resident across the whole i loop (one pass over A computes four
+// dots), cutting the B re-streaming that otherwise dominates the weight-
+// gradient GEMM; the tiling regroups whole dots, so every element's value
+// is bit-identical to the untiled loop.
 func gemmNTAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for i := 0; i < m; i++ {
-		ai := a[i*lda : i*lda+k]
-		ci := c[i*ldc : i*ldc+n]
-		for j := 0; j < n; j++ {
-			bj := b[j*ldb : j*ldb+k]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		b0 := b[j*ldb : j*ldb+k]
+		b1 := b[(j+1)*ldb : (j+1)*ldb+k]
+		b2 := b[(j+2)*ldb : (j+2)*ldb+k]
+		b3 := b[(j+3)*ldb : (j+3)*ldb+k]
+		for i := 0; i < m; i++ {
+			ai := a[i*lda : i*lda+k]
+			var s0, s1, s2, s3 float64
+			for p, av := range ai {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			ci := c[i*ldc+j : i*ldc+j+4]
+			ci[0] += s0
+			ci[1] += s1
+			ci[2] += s2
+			ci[3] += s3
+		}
+	}
+	for ; j < n; j++ {
+		bj := b[j*ldb : j*ldb+k]
+		for i := 0; i < m; i++ {
+			ai := a[i*lda : i*lda+k]
 			var s float64
 			for p, av := range ai {
 				s += av * bj[p]
 			}
-			ci[j] += s
+			c[i*ldc+j] += s
 		}
 	}
 }
 
 // gemmTNAcc computes C[m,n] += A[k,m]^T * B[k,n] for the row range
-// [iLo,iHi) of C. The p loop is outermost (rows of A and B are contiguous);
-// restricting the i range lets callers partition C's rows across goroutines
-// while every element still accumulates p in ascending order.
+// [iLo,iHi) of C. Output rows are processed in tiles of eight so a tile of
+// C stays L1-resident across the whole (outer) p loop instead of the full
+// C row range being re-streamed once per p; within a tile, rows of A and B
+// are contiguous. Restricting the i range lets callers partition C's rows
+// across goroutines, and every element accumulates p in ascending order
+// regardless of the tiling — bit-identical for any thread count.
 func gemmTNAcc(iLo, iHi, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for p := 0; p < k; p++ {
-		ap := a[p*lda : p*lda+iHi]
-		bp := b[p*ldb : p*ldb+n]
-		for i := iLo; i < iHi; i++ {
-			av := ap[i]
-			if av == 0 {
-				continue
-			}
-			ci := c[i*ldc : i*ldc+n]
-			for j, bv := range bp {
-				ci[j] += av * bv
+	for ii := iLo; ii < iHi; ii += 8 {
+		im := ii + 8
+		if im > iHi {
+			im = iHi
+		}
+		for p := 0; p < k; p++ {
+			ap := a[p*lda+ii : p*lda+im]
+			bp := b[p*ldb : p*ldb+n]
+			for t, av := range ap {
+				if av == 0 {
+					continue
+				}
+				ci := c[(ii+t)*ldc : (ii+t)*ldc+n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
 			}
 		}
 	}

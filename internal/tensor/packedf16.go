@@ -1,0 +1,141 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/f16"
+)
+
+// PackedF16 is a GEMM B matrix repacked once into the blocked kernel's
+// traversal order and stored in half precision — the serving fast path's
+// reusable packed-weight buffer.
+//
+// Layout: for each ncBlock column panel, for each kcBlock depth panel, the
+// pk x jn block is stored contiguously (rows p ascending, columns j
+// ascending). The multiply then walks the packed storage strictly
+// sequentially — no leading-dimension strides — and decodes one panel at a
+// time into a pooled fp32-accumulate-style f64 tile that every row of A
+// reuses.
+//
+// That reuse is the paper's thesis in miniature: a single-sample inference
+// (m=1) pays the full decode + memory traffic of every weight panel for one
+// row of work, while a coalesced micro-batch (m=8) amortizes each panel
+// decode across eight rows — turning a decode/bandwidth-bound call into a
+// compute-bound one. Packing happens once per model (weights are static
+// under serving), never per call.
+type PackedF16 struct {
+	// K and N are the dimensions of the original [K, N] matrix.
+	K, N int
+	// MaxErr is the largest absolute rounding error the fp16 quantization
+	// introduced across all weights (reported for observability).
+	MaxErr float64
+
+	panels []f16.F16
+}
+
+// PackF16 packs a [K, N] matrix into panel-major half-precision storage.
+// Call it once per model; the packed buffer is immutable and safe for
+// concurrent readers.
+func PackF16(b *Tensor) *PackedF16 {
+	if len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: PackF16 wants a [K,N] matrix, got %v", b.Shape))
+	}
+	k, n := b.Shape[0], b.Shape[1]
+	pb := &PackedF16{K: k, N: n, panels: make([]f16.F16, k*n)}
+	t := 0
+	for jj := 0; jj < n; jj += ncBlock {
+		jn := min(n-jj, ncBlock)
+		for pp := 0; pp < k; pp += kcBlock {
+			pk := min(k-pp, kcBlock)
+			for p := pp; p < pp+pk; p++ {
+				for j := jj; j < jj+jn; j++ {
+					v := b.Data[p*n+j]
+					h := f16.FromFloat64(v)
+					if e := abs(h.Float64() - v); e > pb.MaxErr {
+						pb.MaxErr = e
+					}
+					pb.panels[t] = h
+					t++
+				}
+			}
+		}
+	}
+	return pb
+}
+
+// Bytes returns the packed buffer's storage footprint — half of the f64
+// matrix it replaces.
+func (pb *PackedF16) Bytes() int64 { return int64(len(pb.panels)) * 2 }
+
+// MatMulPackedF16 computes c[m,N] = act(a[m,K] x pb + bias) into the f64
+// accumulator c, overwriting it (fused epilogue, no prefill pass; bias is
+// per output column and may be nil). If out is non-nil (len >= m*N) each
+// finished column block is additionally quantized into out while hot — the
+// 16-bit activation write-back of the serving path, fused so it costs no
+// extra trip over the activations.
+//
+// Accumulation is float64 in ascending depth order, so the result is exactly
+// MatMulInto against the fp16-quantized weights: deterministic, and
+// independent of the batch size m a row is computed under.
+func MatMulPackedF16(m int, a []float64, pb *PackedF16, c []float64, bias []float64, relu bool, out []f16.F16) {
+	k, n := pb.K, pb.N
+	if len(a) < m*k || len(c) < m*n {
+		panic(fmt.Sprintf("tensor: packed matmul m=%d with len(a)=%d len(c)=%d for [%d,%d]", m, len(a), len(c), k, n))
+	}
+	off := 0
+	for jj := 0; jj < n; jj += ncBlock {
+		jn := min(n-jj, ncBlock)
+		for pp := 0; pp < k; pp += kcBlock {
+			pk := min(k-pp, kcBlock)
+			// Decode the panel once; all m rows consume the hot f64 tile.
+			tile := getSlab(pk * jn)
+			f16.DecodeSlice(tile.f, pb.panels[off:off+pk*jn])
+			off += pk * jn
+			for i := 0; i < m; i++ {
+				ci := c[i*n+jj : i*n+jj+jn]
+				ai := a[i*k+pp : i*k+pp+pk]
+				if pp == 0 {
+					zeroFloats(ci) // see gemmFused: accumulate over zeros
+				}
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					bp := tile.f[p*jn : p*jn+jn]
+					for j, bv := range bp {
+						ci[j] += av * bv
+					}
+				}
+			}
+			tile.put()
+		}
+		// Epilogue on the finished column block: bias, activation, and the
+		// optional 16-bit write-back.
+		for i := 0; i < m; i++ {
+			ci := c[i*n+jj : i*n+jj+jn]
+			if bias != nil {
+				bj := bias[jj : jj+jn]
+				for j := range ci {
+					ci[j] += bj[j]
+				}
+			}
+			if relu {
+				for j := range ci {
+					if ci[j] < 0 {
+						ci[j] = 0
+					}
+				}
+			}
+			if out != nil {
+				f16.EncodeSlice(out[i*n+jj:i*n+jj+jn], ci)
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -151,6 +151,38 @@ type Event struct {
 	Job   *Job            `json:"job,omitempty"`
 }
 
+// InferResponse is the POST /v2/infer body: one logits row, predicted
+// class and serving batch size per input, in request order.
+type InferResponse struct {
+	Model      string      `json:"model"`
+	Outputs    [][]float64 `json:"outputs"`
+	Argmax     []int       `json:"argmax"`
+	BatchSizes []int       `json:"batch_sizes"`
+}
+
+// InferStats is the inference-batcher section of Stats.
+type InferStats struct {
+	Model           string  `json:"model"`
+	MaxBatch        int     `json:"max_batch"`
+	MaxDelay        string  `json:"max_delay"`
+	QueueCap        int     `json:"queue_cap"`
+	PackedKB        float64 `json:"packed_weight_kb"`
+	Requests        int64   `json:"requests"`
+	Items           int64   `json:"items"`
+	Batches         int64   `json:"batches"`
+	FullFlushes     int64   `json:"full_flushes"`
+	DeadlineFlushes int64   `json:"deadline_flushes"`
+	Cancelled       int64   `json:"cancelled"`
+	QueueDepth      int     `json:"queue_depth"`
+	MeanBatchSize   float64 `json:"mean_batch_size"`
+}
+
+// EngineStats is the tensor-kernel section of Stats.
+type EngineStats struct {
+	Kernel  string `json:"kernel"`
+	Threads int    `json:"threads"`
+}
+
 // JobStats is the jobs section of Stats.
 type JobStats struct {
 	Submitted     int64            `json:"submitted"`
@@ -173,15 +205,17 @@ type CacheStats struct {
 // Stats is the GET /v1/stats body (build identity fields omitted; decode
 // raw via Run-style calls if needed).
 type Stats struct {
-	Workers     int        `json:"workers"`
-	MaxInFlight int        `json:"max_in_flight"`
-	InFlight    int64      `json:"in_flight"`
-	QueueDepth  int64      `json:"queue_depth"`
-	Served      int64      `json:"served"`
-	Failed      int64      `json:"failed"`
-	Cancelled   int64      `json:"cancelled"`
-	Jobs        JobStats   `json:"jobs"`
-	Cache       CacheStats `json:"cache"`
+	Workers     int         `json:"workers"`
+	MaxInFlight int         `json:"max_in_flight"`
+	InFlight    int64       `json:"in_flight"`
+	QueueDepth  int64       `json:"queue_depth"`
+	Served      int64       `json:"served"`
+	Failed      int64       `json:"failed"`
+	Cancelled   int64       `json:"cancelled"`
+	Jobs        JobStats    `json:"jobs"`
+	Cache       CacheStats  `json:"cache"`
+	Engine      EngineStats `json:"engine"`
+	Infer       InferStats  `json:"infer"`
 }
 
 // do issues a request and returns the response, converting non-2xx bodies
@@ -260,6 +294,23 @@ func (c *Client) Run(ctx context.Context, req RunRequest) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	return io.ReadAll(resp.Body)
+}
+
+// Infer submits one or more flattened input samples to POST /v2/infer.
+// Each sample coalesces with other in-flight requests into the server's
+// micro-batches; the response reports per-sample logits, predicted class,
+// and the batch size the sample was served under.
+func (c *Client) Infer(ctx context.Context, inputs [][]float64) (*InferResponse, error) {
+	resp, err := c.do(ctx, http.MethodPost, "/v2/infer", map[string]any{"inputs": inputs})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := new(InferResponse)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Submit enqueues a scenario as an asynchronous v2 job.
