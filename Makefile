@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-json golden serve load-smoke clean
+.PHONY: all build test race vet lint bench-smoke bench-json golden serve load-smoke clean
 
 # The trajectory snapshot written by bench-json; bump the index per PR so
 # history accumulates (BENCH_2.json was the first, from the kernel-engine PR;
-# BENCH_5.json added the inference fast path and the fused-epilogue kernels).
-BENCH_JSON ?= BENCH_5.json
+# BENCH_5.json added the inference fast path and the fused-epilogue kernels;
+# BENCH_6.json added the replica-pool scaling curve).
+BENCH_JSON ?= BENCH_6.json
+
+# Pinned staticcheck version for lint (also installed by CI). The lint
+# target degrades gracefully when the binary isn't on PATH so offline
+# checkouts can still run `make test`.
+STATICCHECK_VERSION ?= 2025.1.1
 
 # Build identity baked into every binary (reported by -version and the mbsd
 # /v1/stats endpoint).
@@ -34,6 +40,16 @@ race:
 vet:
 	$(GO) vet ./...
 
+# vet plus staticcheck (pinned; install with
+# `go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)`).
+# Skips staticcheck with a notice when it isn't installed.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH, skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
 # One iteration of every benchmark: a fast reproduction log of the paper's
 # headline numbers (no -benchtime tuning, no stability claims).
 bench-smoke:
@@ -41,9 +57,14 @@ bench-smoke:
 
 # Headline kernel/training benchmarks as a JSON snapshot for the perf
 # trajectory: future PRs re-run this and diff against the committed file.
+# The replica-scaling curve runs separately with a longer -benchtime (its
+# per-op work is small, so 3x would be all noise); benchjson parses the
+# concatenated output of both runs.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep|BenchmarkInfer' \
-		-benchmem -benchtime 3x . | $(GO) run ./cmd/benchjson > $(BENCH_JSON)
+	{ $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep|BenchmarkInfer(Single|Batched|CNN)' \
+		-benchmem -benchtime 3x . && \
+	  $(GO) test -run '^$$' -bench 'BenchmarkInferReplicas' -benchmem -benchtime 2s . ; } \
+		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # Regenerate the pinned figure/table outputs after an intentional change to
 # the scheduler or simulator models. Inspect the git diff before committing.
@@ -54,16 +75,18 @@ golden:
 serve:
 	$(GO) run $(LDFLAGS) ./cmd/mbsd -addr $(SERVE_ADDR) -cache-mb $(CACHE_MB) -max-inflight $(MAX_INFLIGHT)
 
-# Start a local mbsd, fire ~1000 concurrent requests at it, and assert zero
-# failures, >90% engine-cache hit rate, and the cache under its byte bound;
-# then exercise the v2 job API (submit/stream/cancel) and the batched
-# inference endpoint (concurrent clients, zero failures, mean served batch
-# size > 1) through pkg/client.
+# Start a local mbsd (2 inference replicas, 429 shedding on), fire ~1000
+# concurrent requests at it, and assert zero failures, >90% engine-cache hit
+# rate, and the cache under its byte bound; then exercise the v2 job API
+# (submit/stream/cancel) and the batched inference endpoint (concurrent
+# clients with 429 backoff, zero failures, mean served batch size > 1,
+# replica spread, and a deliberate-overload burst where every rejection must
+# be a clean 429) through pkg/client.
 load-smoke:
 	@mkdir -p bin
 	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
 	$(GO) build $(LDFLAGS) -o bin/mbsload ./cmd/mbsload
-	@./bin/mbsd -addr 127.0.0.1:18080 -cache-mb 64 & pid=$$!; \
+	@./bin/mbsd -addr 127.0.0.1:18080 -cache-mb 64 -infer-replicas 2 -infer-shed & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null' EXIT; \
 	for i in $$(seq 1 50); do \
 		bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \

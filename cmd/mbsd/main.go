@@ -52,7 +52,12 @@ func main() {
 	inferModel := flag.String("infer-model", "smallcnn",
 		fmt.Sprintf("model served by POST /v2/infer (one of %v)", infer.Models()))
 	inferBatch := flag.Int("infer-batch", 0, "inference micro-batch flush size (0 = 8)")
-	inferDelay := flag.Duration("infer-delay", 0, "inference coalesce deadline (0 = 2ms)")
+	inferDelay := flag.Duration("infer-delay", 0, "inference coalesce deadline when idle (0 = 2ms)")
+	inferMinDelay := flag.Duration("infer-min-delay", 0,
+		"inference coalesce deadline under full queue pressure (0 = delay/4)")
+	inferReplicas := flag.Int("infer-replicas", 1, "predictor replicas draining the inference queue")
+	inferShed := flag.Bool("infer-shed", true,
+		"shed inference requests with 429 + Retry-After when the queue is full (false = block senders)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -71,6 +76,9 @@ func main() {
 		InferModel:    *inferModel,
 		InferMaxBatch: *inferBatch,
 		InferMaxDelay: *inferDelay,
+		InferMinDelay: *inferMinDelay,
+		InferReplicas: *inferReplicas,
+		InferShed:     *inferShed,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -83,8 +91,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mbsd %s listening on %s (workers=%d cache-mb=%d max-inflight=%d infer-model=%s)",
-		buildinfo.Get(), *addr, svc.Engine().Workers(), *cacheMB, *maxInFlight, *inferModel)
+	log.Printf("mbsd %s listening on %s (workers=%d cache-mb=%d max-inflight=%d infer-model=%s infer-replicas=%d infer-shed=%v)",
+		buildinfo.Get(), *addr, svc.Engine().Workers(), *cacheMB, *maxInFlight, *inferModel, *inferReplicas, *inferShed)
 
 	select {
 	case err := <-errc:

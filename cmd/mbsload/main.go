@@ -8,10 +8,15 @@
 // verify the job result is byte-identical to the synchronous /v1/run
 // response, and submit-then-cancel a second job, requiring the
 // cancellation counters to move. With -infer N it also smokes the batched
-// inference endpoint: N concurrent single-sample POST /v2/infer requests,
-// asserting zero failures, real coalescing (mean served batch size above
-// -min-mean-batch) and batch-composition-independent logits. `make
-// load-smoke` wires it against a freshly started local mbsd.
+// inference endpoint: N concurrent single-sample POST /v2/infer requests
+// (retrying 429s per the documented backoff contract), asserting zero
+// failures, real coalescing (mean served batch size above -min-mean-batch),
+// batch-composition-independent logits, and — when the server runs a
+// replica pool — that sustained load reaches more than one replica. Unless
+// -infer-overload=false it then deliberately overruns the server with a
+// start-gated burst ~4x the pool's absorb capacity and requires every
+// rejection to be a clean 429. `make load-smoke` wires it against a freshly
+// started local mbsd.
 //
 // Usage:
 //
@@ -25,6 +30,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +55,8 @@ func main() {
 	inferN := flag.Int("infer", 0, "total /v2/infer requests to fire (0 = skip the infer smoke)")
 	minMeanBatch := flag.Float64("min-mean-batch", 1.05,
 		"required mean coalesced batch size across the infer smoke's requests")
+	inferOverload := flag.Bool("infer-overload", true,
+		"after the infer smoke, burst ~4x the server's queue+batch capacity and require every rejection to be a clean 429")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -129,6 +137,11 @@ func main() {
 		if err := smokeInfer(ctx, cl, *inferN, *c, *minMeanBatch); err != nil {
 			fatal(err)
 		}
+		if *inferOverload {
+			if err := smokeInferOverload(ctx, cl); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	fmt.Println("load-smoke: OK")
 }
@@ -152,7 +165,7 @@ func smokeInfer(ctx context.Context, cl *client.Client, n, workers int, minMeanB
 	var mu sync.Mutex
 	reference := make(map[int][]float64, patterns)
 	var totalBatch atomic.Int64
-	var failures atomic.Int64
+	var failures, retries atomic.Int64
 	var firstErr error
 	record := func(err error) {
 		failures.Add(1)
@@ -176,9 +189,7 @@ func smokeInfer(ctx context.Context, cl *client.Client, n, workers int, minMeanB
 					return
 				}
 				pat := i % patterns
-				reqCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
-				resp, err := cl.Infer(reqCtx, [][]float64{inferInput(pat, inSize)})
-				cancel()
+				resp, err := inferWithRetry(ctx, cl, [][]float64{inferInput(pat, inSize)}, &retries)
 				if err != nil {
 					record(fmt.Errorf("infer %d: %w", i, err))
 					continue
@@ -208,14 +219,142 @@ func smokeInfer(ctx context.Context, cl *client.Client, n, workers int, minMeanB
 	if served > 0 {
 		mean = float64(totalBatch.Load()) / float64(served)
 	}
-	fmt.Printf("infer-smoke: %d requests in %v (%.0f req/s), %d failures, mean batch %.2f (model %s)\n",
+	fmt.Printf("infer-smoke: %d requests in %v (%.0f req/s), %d failures, %d 429 retries, mean batch %.2f (model %s)\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(),
-		failures.Load(), mean, stats.Infer.Model)
+		failures.Load(), retries.Load(), mean, stats.Infer.Model)
 	if f := failures.Load(); f > 0 {
 		return fmt.Errorf("infer-smoke: %d/%d requests failed; first: %w", f, n, firstErr)
 	}
 	if mean < minMeanBatch {
 		return fmt.Errorf("infer-smoke: mean batch size %.2f below required %.2f — requests are not coalescing", mean, minMeanBatch)
+	}
+	return checkReplicaSpread(ctx, cl)
+}
+
+// inferWithRetry implements the documented 429 contract: on an overloaded
+// response, back off for the server's Retry-After hint (capped, with a small
+// default) and resubmit, up to a handful of attempts.
+func inferWithRetry(ctx context.Context, cl *client.Client, inputs [][]float64, retries *atomic.Int64) (*client.InferResponse, error) {
+	const attempts = 8
+	var resp *client.InferResponse
+	var err error
+	for a := 0; a < attempts; a++ {
+		reqCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		resp, err = cl.Infer(reqCtx, inputs)
+		cancel()
+		if !client.Overloaded(err) {
+			return resp, err
+		}
+		retries.Add(1)
+		backoff := 25 * time.Millisecond << a
+		var ae *client.APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 && ae.RetryAfter < backoff {
+			backoff = ae.RetryAfter
+		}
+		if backoff > time.Second {
+			backoff = time.Second
+		}
+		time.Sleep(backoff)
+	}
+	return resp, err
+}
+
+// checkReplicaSpread asserts the pool observability after the smoke: when
+// the server runs more than one replica, sustained load must have reached at
+// least two of them, and the per-replica items must sum to the aggregate.
+func checkReplicaSpread(ctx context.Context, cl *client.Client) error {
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("infer stats: %w", err)
+	}
+	in := stats.Infer
+	if len(in.PerReplica) != in.Replicas {
+		return fmt.Errorf("infer-smoke: stats report %d replicas but %d per-replica rows", in.Replicas, len(in.PerReplica))
+	}
+	var sum int64
+	active := 0
+	for _, r := range in.PerReplica {
+		sum += r.Items
+		if r.Items > 0 {
+			active++
+		}
+	}
+	if sum != in.Items {
+		return fmt.Errorf("infer-smoke: per-replica items sum to %d, aggregate says %d", sum, in.Items)
+	}
+	if in.Replicas > 1 && int64(in.Replicas)*int64(in.MaxBatch)*4 <= in.Items && active < 2 {
+		return fmt.Errorf("infer-smoke: %d replicas configured but only %d served work (%+v)", in.Replicas, active, in.PerReplica)
+	}
+	fmt.Printf("infer-smoke: %d/%d replicas active, per-replica items %+v\n", active, in.Replicas, in.PerReplica)
+	return nil
+}
+
+// smokeInferOverload deliberately overruns the server: a start-gated burst
+// of multi-sample requests sized ~4x the pool's absorb capacity
+// (replicas*max_batch + queue). The contract under overload is strict —
+// every response is either a 200 or a clean 429 (structured overloaded
+// error); anything else fails the smoke. Whether 429s actually occur
+// depends on the server's shed flag and how fast its host drains, so the
+// shed count is reported rather than required.
+func smokeInferOverload(ctx context.Context, cl *client.Client) error {
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("infer stats: %w", err)
+	}
+	spec, ok := infer.Lookup(stats.Infer.Model)
+	if !ok {
+		return fmt.Errorf("infer-overload: server serves unknown model %q", stats.Infer.Model)
+	}
+	inSize := spec.InSize()
+	const perRequest = 8
+	capacity := stats.Infer.Replicas*stats.Infer.MaxBatch + stats.Infer.QueueCap
+	burst := 4 * capacity / perRequest
+	if burst < 16 {
+		burst = 16
+	}
+	inputs := make([][]float64, perRequest)
+	for j := range inputs {
+		inputs[j] = inferInput(j, inSize)
+	}
+
+	var ok200, shed429, other atomic.Int64
+	var mu sync.Mutex
+	var firstErr error
+	startGate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-startGate
+			reqCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+			_, err := cl.Infer(reqCtx, inputs)
+			cancel()
+			switch {
+			case err == nil:
+				ok200.Add(1)
+			case client.Overloaded(err):
+				shed429.Add(1)
+			default:
+				other.Add(1)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	close(startGate)
+	wg.Wait()
+
+	fmt.Printf("infer-overload: burst of %d x %d samples (capacity ~%d): %d ok, %d shed with 429, %d other failures\n",
+		burst, perRequest, capacity, ok200.Load(), shed429.Load(), other.Load())
+	if other.Load() > 0 {
+		return fmt.Errorf("infer-overload: %d non-429 failures under deliberate overload; first: %w", other.Load(), firstErr)
+	}
+	if ok200.Load() == 0 && shed429.Load() == 0 {
+		return fmt.Errorf("infer-overload: burst produced no responses at all")
 	}
 	return nil
 }

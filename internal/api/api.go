@@ -26,6 +26,7 @@ const (
 	CodeRunFailed       = "run_failed"       // the scenario executed and failed
 	CodeCancelled       = "cancelled"        // the run or job was cancelled
 	CodeUnavailable     = "unavailable"      // queue full / shutting down (503)
+	CodeOverloaded      = "overloaded"       // inference admission control shed the request (429 + Retry-After)
 	CodeInternal        = "internal"         // rendering or other server-side failure
 )
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -14,6 +16,13 @@ import (
 // a batcher that has shut down.
 var ErrClosed = errors.New("infer: batcher closed")
 
+// ErrOverloaded is returned — only when Config.Shed is set — for requests
+// that arrive while the queue is at capacity. It is the admission-control
+// signal: the HTTP layer maps it to 429 + Retry-After so clients back off
+// instead of piling blocked senders onto a queue that is already beyond the
+// replicas' drain rate.
+var ErrOverloaded = errors.New("infer: overloaded (request queue full)")
+
 // BadInputError reports a request whose input does not match the served
 // model. The HTTP layer maps it to 422.
 type BadInputError struct{ msg string }
@@ -23,14 +32,33 @@ func (e *BadInputError) Error() string { return e.msg }
 // Config sizes a Batcher.
 type Config struct {
 	// MaxBatch flushes a batch as soon as this many live requests coalesce
-	// (0 = 8). It is also the compiled predictor's maximum batch.
+	// (0 = 8). It is also each compiled replica's maximum batch.
 	MaxBatch int
-	// MaxDelay is the coalesce deadline: how long the first request of a
-	// batch waits for peers before a partial batch flushes (0 = 2ms).
+	// MaxDelay is the idle coalesce deadline: how long the first request of
+	// a batch waits for peers when the queue is empty (0 = 2ms). Under load
+	// the effective deadline shrinks toward MinDelay — see coalesceDelay.
 	MaxDelay time.Duration
-	// QueueCap bounds the request queue; senders beyond it block — cancel
-	// their context to abandon the wait (0 = 4*MaxBatch).
+	// MinDelay is the loaded coalesce deadline: the floor the effective
+	// deadline shrinks to as queue depth approaches MaxBatch (0 = MaxDelay/4,
+	// clamped to MaxDelay). A deep queue means the next batch will fill from
+	// backlog anyway, so waiting the full MaxDelay only adds latency.
+	MinDelay time.Duration
+	// QueueCap bounds the request queue (0 = 4*MaxBatch). Senders beyond it
+	// block — cancel their context to abandon the wait — unless Shed is set,
+	// in which case they fail fast with ErrOverloaded.
 	QueueCap int
+	// Replicas is the number of independently compiled predictor replicas
+	// draining the shared queue (0 = 1). Each replica owns one packed-weight
+	// set and one dispatch loop, so flushes run truly in parallel. Replicas
+	// are fixed-seed clones: outputs are independent of which replica served
+	// a request.
+	Replicas int
+	// Shed enables admission control: a request arriving at a full queue
+	// fails immediately with ErrOverloaded instead of blocking its sender
+	// indefinitely. This is what keeps the service degrading gracefully
+	// (bounded latency for admitted work, fast 429s for the rest) instead of
+	// queue-collapsing under overload.
+	Shed bool
 }
 
 func (c Config) withDefaults() Config {
@@ -40,8 +68,17 @@ func (c Config) withDefaults() Config {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 2 * time.Millisecond
 	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = c.MaxDelay / 4
+	}
+	if c.MinDelay > c.MaxDelay {
+		c.MinDelay = c.MaxDelay
+	}
 	if c.QueueCap <= 0 {
 		c.QueueCap = 4 * c.MaxBatch
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
 	}
 	return c
 }
@@ -50,11 +87,16 @@ func (c Config) withDefaults() Config {
 type Result struct {
 	// Logits is the model's per-class output for this sample.
 	Logits []float64
-	// Argmax is the predicted class.
+	// Argmax is the predicted class: the index of the largest non-NaN logit,
+	// or -1 if every logit is NaN (never a confident-looking class 0).
 	Argmax int
 	// BatchSize is how many requests rode in the flush that served this
 	// one — the coalescing observability the load smoke asserts on.
 	BatchSize int
+	// Replica is the index of the pool replica that served the request.
+	// Outputs are replica-independent (fixed-seed clones); the field exists
+	// for observability and the scaling tests.
+	Replica int
 }
 
 type request struct {
@@ -69,21 +111,22 @@ type reply struct {
 }
 
 // Batcher coalesces concurrent inference requests into micro-batches and
-// runs them on one compiled predictor. Requests are context-aware end to
-// end: a cancelled request abandons its queue slot (it is dropped when its
-// batch assembles, without stalling the flush), and a partial batch still
-// flushes when the coalesce deadline expires.
+// runs them on a pool of predictor replicas draining one bounded queue.
+// Requests are context-aware end to end: a cancelled request abandons its
+// queue slot (it is dropped when its batch assembles, without stalling the
+// flush), and a partial batch still flushes when the coalesce deadline
+// expires. With Shed set, requests beyond QueueCap fail fast with
+// ErrOverloaded instead of blocking.
 type Batcher struct {
 	spec ModelSpec
 	cfg  Config
-	pred predictor
 
-	reqs chan *request
-	stop chan struct{}
-	done chan struct{}
+	replicas []*replica
 
-	xdata []float64
-	views []*tensor.Tensor // per-batch-size input headers
+	reqs      chan *request
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
 
 	requests        atomic.Int64
 	items           atomic.Int64
@@ -91,6 +134,23 @@ type Batcher struct {
 	fullFlushes     atomic.Int64
 	deadlineFlushes atomic.Int64
 	cancelled       atomic.Int64
+	shed            atomic.Int64
+	shortDeadlines  atomic.Int64
+}
+
+// replica is one pool member: its own compiled predictor (one packed-weight
+// set), its own input staging buffers, and its own dispatch loop, so flushes
+// on different replicas share nothing but the request queue.
+type replica struct {
+	b    *Batcher
+	id   int
+	pred predictor
+
+	xdata []float64
+	views []*tensor.Tensor // per-batch-size input headers
+
+	batches atomic.Int64
+	items   atomic.Int64
 }
 
 // predictor is the slice of nn.Predictor the batcher uses (an interface so
@@ -99,29 +159,58 @@ type predictor interface {
 	Forward(x *tensor.Tensor) *tensor.Tensor
 }
 
-// New builds a batcher serving the given model and starts its dispatch
-// loop. Call Close to stop it.
+// New builds a batcher serving the given model and starts one dispatch loop
+// per replica. Call Close to stop it.
 func New(spec ModelSpec, cfg Config) (*Batcher, error) {
 	cfg = cfg.withDefaults()
-	pred, err := spec.NewPredictor(cfg.MaxBatch)
-	if err != nil {
-		return nil, err
+	preds := make([]predictor, cfg.Replicas)
+	for i := range preds {
+		// Each replica compiles the spec independently: same fixed seed, so
+		// identical weights, but a private packed buffer set — parallel
+		// flushes never contend on predictor state.
+		pred, err := spec.NewPredictor(cfg.MaxBatch)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = pred
 	}
-	return newWith(spec, cfg, pred), nil
+	return newWith(spec, cfg, preds), nil
 }
 
-func newWith(spec ModelSpec, cfg Config, pred predictor) *Batcher {
+func newWith(spec ModelSpec, cfg Config, preds []predictor) *Batcher {
+	cfg.Replicas = len(preds)
 	b := &Batcher{
-		spec:  spec,
-		cfg:   cfg,
-		pred:  pred,
-		reqs:  make(chan *request, cfg.QueueCap),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		xdata: make([]float64, cfg.MaxBatch*spec.InSize()),
-		views: make([]*tensor.Tensor, cfg.MaxBatch),
+		spec: spec,
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.QueueCap),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
-	go b.loop()
+	b.replicas = make([]*replica, len(preds))
+	var wg sync.WaitGroup
+	for i, pred := range preds {
+		rp := &replica{
+			b:     b,
+			id:    i,
+			pred:  pred,
+			xdata: make([]float64, cfg.MaxBatch*spec.InSize()),
+			views: make([]*tensor.Tensor, cfg.MaxBatch),
+		}
+		b.replicas[i] = rp
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rp.loop()
+		}()
+	}
+	go func() {
+		// Only after every replica loop has exited is the queue drained and
+		// done closed: in-flight flushes finish serving their batches first,
+		// and no loop can race the drain for queued work.
+		wg.Wait()
+		b.drain()
+		close(b.done)
+	}()
 	return b
 }
 
@@ -132,7 +221,8 @@ func (b *Batcher) Model() ModelSpec { return b.spec }
 func (b *Batcher) Config() Config { return b.cfg }
 
 // Infer queues one sample and blocks until its batch is served, the context
-// is cancelled, or the batcher closes.
+// is cancelled, or the batcher closes. With Config.Shed set it instead
+// fails fast with ErrOverloaded when the queue is at capacity.
 func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
 	if len(input) != b.spec.InSize() {
 		return Result{}, &BadInputError{msg: fmt.Sprintf(
@@ -143,10 +233,19 @@ func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
 	select {
 	case b.reqs <- r:
 		b.requests.Add(1)
-	case <-ctx.Done():
-		return Result{}, ctx.Err()
-	case <-b.done:
-		return Result{}, ErrClosed
+	default:
+		if b.cfg.Shed {
+			b.shed.Add(1)
+			return Result{}, ErrOverloaded
+		}
+		select {
+		case b.reqs <- r:
+			b.requests.Add(1)
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-b.done:
+			return Result{}, ErrClosed
+		}
 	}
 	select {
 	case rep := <-r.out:
@@ -155,8 +254,8 @@ func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
 		// The dispatcher drops this request when its batch assembles.
 		return Result{}, ctx.Err()
 	case <-b.done:
-		// The loop drains the queue with ErrClosed replies before signalling
-		// done; prefer a reply that raced in.
+		// The queue is drained with ErrClosed replies before done is
+		// signalled; prefer a reply that raced in.
 		select {
 		case rep := <-r.out:
 			return rep.res, rep.err
@@ -166,29 +265,79 @@ func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
 	}
 }
 
-// Close stops the dispatch loop. Queued and future requests fail with
-// ErrClosed; the in-progress batch (if any) completes first.
+// Close stops the dispatch loops and waits for them to finish. Queued and
+// future requests fail with ErrClosed; batches already assembling flush
+// first. Close is idempotent — the service shutdown path and test cleanups
+// may both call it without ordering hazards.
 func (b *Batcher) Close() {
-	close(b.stop)
+	b.closeOnce.Do(func() { close(b.stop) })
 	<-b.done
 }
 
-// loop is the dispatcher: assemble a batch (flush on max-batch or
-// deadline), drop cancelled requests without stalling the flush, run the
-// predictor, fan results out.
-func (b *Batcher) loop() {
-	defer close(b.done)
+// coalesceDelay resolves the deadline for a batch that is starting now: the
+// patient MaxDelay when the queue is idle, shrinking linearly to MinDelay as
+// queue depth approaches MaxBatch (the leading/trailing throttle idiom —
+// impatient under load, patient when idle). A deep queue means peers for the
+// next batch are already waiting, so a long deadline would only add latency;
+// an empty queue means peers can only come from new arrivals, which is what
+// the full MaxDelay is for.
+func (b *Batcher) coalesceDelay() time.Duration {
+	depth := len(b.reqs)
+	if depth <= 0 {
+		return b.cfg.MaxDelay
+	}
+	frac := float64(depth) / float64(b.cfg.MaxBatch)
+	if frac > 1 {
+		frac = 1
+	}
+	d := b.cfg.MaxDelay - time.Duration(frac*float64(b.cfg.MaxDelay-b.cfg.MinDelay))
+	if d < b.cfg.MaxDelay {
+		b.shortDeadlines.Add(1)
+	}
+	return d
+}
+
+// stopTimer stops t and drains a pending expiry, so a later Reset can never
+// be satisfied by a stale fire. Under Go 1.23+ synchronous timers Stop alone
+// suffices, but the drain is what keeps the dispatcher correct under
+// GODEBUG=asynctimerchan=1 (and it is what the timer-drain regression test
+// pins): without it, a full flush whose deadline raced the last append
+// leaves the expiry in timer.C, and the NEXT batch deadline-flushes
+// immediately at size 1 — silently destroying coalescing.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// loop is one replica's dispatcher: take the first request, assemble a batch
+// (flush on max-batch or the adaptive deadline), drop cancelled requests
+// without stalling the flush, run this replica's predictor, fan results out.
+func (rp *replica) loop() {
+	b := rp.b
 	timer := time.NewTimer(time.Hour)
-	timer.Stop()
+	stopTimer(timer)
 	batch := make([]*request, 0, b.cfg.MaxBatch)
 	for {
+		// A signalled stop takes priority over racing new work: queued but
+		// unbatched requests are deterministically drained with ErrClosed
+		// instead of being opportunistically served mid-shutdown.
 		select {
 		case <-b.stop:
-			b.drain(batch)
+			return
+		default:
+		}
+		select {
+		case <-b.stop:
 			return
 		case r := <-b.reqs:
 			batch = append(batch[:0], r)
-			timer.Reset(b.cfg.MaxDelay)
+			// The timer is stopped and drained at the top of every batch, so
+			// this Reset can only be satisfied by the deadline it sets.
+			timer.Reset(b.coalesceDelay())
 		}
 		full := false
 	collect:
@@ -197,21 +346,23 @@ func (b *Batcher) loop() {
 			batch = b.sweepCancelled(batch)
 			if len(batch) >= b.cfg.MaxBatch {
 				full = true
-				timer.Stop()
+				stopTimer(timer)
 				break collect
 			}
 			select {
 			case r := <-b.reqs:
 				batch = append(batch, r)
 			case <-timer.C:
-				break collect
+				break collect // expiry consumed: timer is drained
 			case <-b.stop:
-				b.flush(batch, false)
-				b.drain(nil)
+				// The partial batch assembled so far is served, not failed:
+				// its senders were admitted before shutdown began.
+				stopTimer(timer)
+				rp.flush(batch, false)
 				return
 			}
 		}
-		b.flush(batch, full)
+		rp.flush(batch, full)
 		batch = batch[:0]
 	}
 }
@@ -229,8 +380,9 @@ func (b *Batcher) sweepCancelled(batch []*request) []*request {
 	return live
 }
 
-// flush serves one assembled batch.
-func (b *Batcher) flush(batch []*request, full bool) {
+// flush serves one assembled batch on this replica's predictor.
+func (rp *replica) flush(batch []*request, full bool) {
+	b := rp.b
 	batch = b.sweepCancelled(batch)
 	n := len(batch)
 	if n == 0 {
@@ -238,16 +390,18 @@ func (b *Batcher) flush(batch []*request, full bool) {
 	}
 	in := b.spec.InSize()
 	for i, r := range batch {
-		copy(b.xdata[i*in:(i+1)*in], r.input)
+		copy(rp.xdata[i*in:(i+1)*in], r.input)
 	}
-	x := b.views[n-1]
+	x := rp.views[n-1]
 	if x == nil {
-		x = tensor.FromSlice(b.xdata[:n*in], append([]int{n}, b.spec.InShape...)...)
-		b.views[n-1] = x
+		x = tensor.FromSlice(rp.xdata[:n*in], append([]int{n}, b.spec.InShape...)...)
+		rp.views[n-1] = x
 	}
-	logits := b.pred.Forward(x)
+	logits := rp.pred.Forward(x)
 	b.batches.Add(1)
 	b.items.Add(int64(n))
+	rp.batches.Add(1)
+	rp.items.Add(int64(n))
 	if full {
 		b.fullFlushes.Add(1)
 	} else {
@@ -256,21 +410,35 @@ func (b *Batcher) flush(batch []*request, full bool) {
 	k := logits.Shape[1]
 	for i, r := range batch {
 		row := logits.Data[i*k : (i+1)*k]
-		res := Result{Logits: append([]float64(nil), row...), BatchSize: n}
-		for j := 1; j < k; j++ {
-			if row[j] > row[res.Argmax] {
-				res.Argmax = j
-			}
-		}
-		r.out <- reply{res: res}
+		r.out <- reply{res: Result{
+			Logits:    append([]float64(nil), row...),
+			Argmax:    argmaxRow(row),
+			BatchSize: n,
+			Replica:   rp.id,
+		}}
 	}
 }
 
-// drain rejects the remaining queued work at shutdown.
-func (b *Batcher) drain(batch []*request) {
-	for _, r := range batch {
-		r.out <- reply{err: ErrClosed}
+// argmaxRow returns the index of the largest non-NaN logit, first index
+// winning ties. An all-NaN row returns -1: NaN comparisons are always false,
+// so a naive scan would report class 0 with full confidence for a row that
+// carries no information.
+func argmaxRow(row []float64) int {
+	best := -1
+	for j, v := range row {
+		if math.IsNaN(v) {
+			continue
+		}
+		if best < 0 || v > row[best] {
+			best = j
+		}
 	}
+	return best
+}
+
+// drain rejects the remaining queued work at shutdown. It runs once, after
+// every replica loop has exited.
+func (b *Batcher) drain() {
 	for {
 		select {
 		case r := <-b.reqs:
@@ -281,12 +449,25 @@ func (b *Batcher) drain(batch []*request) {
 	}
 }
 
+// ReplicaStats is one pool member's share of the served work.
+type ReplicaStats struct {
+	Batches int64 `json:"batches"`
+	Items   int64 `json:"items"`
+}
+
 // Stats is the batcher's counter snapshot (the infer section of /v1/stats).
 type Stats struct {
-	Model    string  `json:"model"`
-	MaxBatch int     `json:"max_batch"`
-	MaxDelay string  `json:"max_delay"`
-	QueueCap int     `json:"queue_cap"`
+	Model    string `json:"model"`
+	MaxBatch int    `json:"max_batch"`
+	MaxDelay string `json:"max_delay"`
+	MinDelay string `json:"min_delay"`
+	QueueCap int    `json:"queue_cap"`
+	Replicas int    `json:"replicas"`
+	// ShedEnabled reports whether admission control is on (full queue →
+	// 429) rather than blocking senders.
+	ShedEnabled bool `json:"shed_enabled"`
+	// PackedKB is one replica's packed fp16 weight footprint; the pool holds
+	// Replicas independent copies.
 	PackedKB float64 `json:"packed_weight_kb"`
 
 	Requests        int64 `json:"requests"`
@@ -295,10 +476,18 @@ type Stats struct {
 	FullFlushes     int64 `json:"full_flushes"`
 	DeadlineFlushes int64 `json:"deadline_flushes"`
 	Cancelled       int64 `json:"cancelled"`
-	QueueDepth      int   `json:"queue_depth"`
+	// Shed counts requests rejected with ErrOverloaded at admission.
+	Shed int64 `json:"shed"`
+	// ShortDeadlines counts batches that started with an adaptive (below
+	// MaxDelay) coalesce deadline because the queue was non-empty.
+	ShortDeadlines int64 `json:"short_deadlines"`
+	QueueDepth     int   `json:"queue_depth"`
 	// MeanBatchSize is items/batches — the coalescing headline: >1 means
 	// concurrent requests actually shared forward passes.
 	MeanBatchSize float64 `json:"mean_batch_size"`
+	// PerReplica is each pool member's share, in replica index order; the
+	// load smoke asserts the shares stay within a constant factor of fair.
+	PerReplica []ReplicaStats `json:"per_replica"`
 }
 
 // Stats snapshots the counters.
@@ -307,16 +496,25 @@ func (b *Batcher) Stats() Stats {
 		Model:           b.spec.Name,
 		MaxBatch:        b.cfg.MaxBatch,
 		MaxDelay:        b.cfg.MaxDelay.String(),
+		MinDelay:        b.cfg.MinDelay.String(),
 		QueueCap:        b.cfg.QueueCap,
+		Replicas:        b.cfg.Replicas,
+		ShedEnabled:     b.cfg.Shed,
 		Requests:        b.requests.Load(),
 		Items:           b.items.Load(),
 		Batches:         b.batches.Load(),
 		FullFlushes:     b.fullFlushes.Load(),
 		DeadlineFlushes: b.deadlineFlushes.Load(),
 		Cancelled:       b.cancelled.Load(),
+		Shed:            b.shed.Load(),
+		ShortDeadlines:  b.shortDeadlines.Load(),
 		QueueDepth:      len(b.reqs),
 	}
-	if p, ok := b.pred.(interface{ PackedBytes() (int64, float64) }); ok {
+	st.PerReplica = make([]ReplicaStats, len(b.replicas))
+	for i, rp := range b.replicas {
+		st.PerReplica[i] = ReplicaStats{Batches: rp.batches.Load(), Items: rp.items.Load()}
+	}
+	if p, ok := b.replicas[0].pred.(interface{ PackedBytes() (int64, float64) }); ok {
 		bytes, _ := p.PackedBytes()
 		st.PackedKB = float64(bytes) / 1024
 	}

@@ -1,0 +1,526 @@
+package infer
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// fakeSpec is a tiny model spec for tests that drive the dispatcher with an
+// instrumented predictor instead of a compiled nn.Predictor.
+var fakeSpec = ModelSpec{Name: "fake", InShape: []int{4}, Classes: 3}
+
+// gatedPred is a controllable predictor: it signals each Forward entry on
+// entered (with the batch size) and blocks until release is closed or
+// receives. Nil channels disable the respective behavior.
+type gatedPred struct {
+	entered chan int
+	release chan struct{}
+	classes int
+	// logits, when set, fills every output row with these values.
+	logits []float64
+}
+
+func (p *gatedPred) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape[0]
+	if p.entered != nil {
+		p.entered <- n
+	}
+	if p.release != nil {
+		<-p.release
+	}
+	out := tensor.New(n, p.classes)
+	if p.logits != nil {
+		for i := 0; i < n; i++ {
+			copy(out.Data[i*p.classes:(i+1)*p.classes], p.logits)
+		}
+	}
+	return out
+}
+
+// fakeInput builds a valid input for fakeSpec.
+func fakeInput() []float64 { return make([]float64, fakeSpec.InSize()) }
+
+// slowErrCtx is context.Background() whose first Err() call stalls for
+// delay. The dispatcher calls ctx.Err() in sweepCancelled while assembling a
+// batch, so this deterministically holds the loop between its timer Reset
+// and timer Stop — long enough for the coalesce deadline to fire without the
+// loop being parked in its select to consume it. That is exactly the window
+// in which the pre-fix batcher left a stale expiry in timer.C.
+type slowErrCtx struct {
+	context.Context
+	delay time.Duration
+	once  sync.Once
+}
+
+func (c *slowErrCtx) Err() error {
+	c.once.Do(func() { time.Sleep(c.delay) })
+	return c.Context.Err()
+}
+
+// TestBatcherTimerDrainRegression forces the stale-timer race the old loop
+// had: a full flush whose coalesce deadline fired between the last append
+// and timer.Stop() left the expiry in timer.C, so the NEXT batch's
+// timer.Reset was satisfied immediately and the batch deadline-flushed at
+// size 1 — silently destroying coalescing (and the mean_batch_size metric
+// every scale-out claim rests on).
+//
+// Go 1.23+ synchronous timers drain on Reset, which hides the bug; the
+// asynctimerchan=1 GODEBUG restores the classic channel semantics this
+// dispatcher must also be correct under. With the stopTimer drain removed,
+// this test fails: r3 is served at batch size 1 in microseconds instead of
+// coalescing with r4.
+func TestBatcherTimerDrainRegression(t *testing.T) {
+	t.Setenv("GODEBUG", "asynctimerchan=1")
+
+	const maxDelay = 400 * time.Millisecond
+	b := newWith(fakeSpec, Config{MaxBatch: 2, MaxDelay: maxDelay, QueueCap: 16}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes}})
+	defer b.Close()
+
+	// Batch 1: r1 starts the batch (timer armed at maxDelay); r2's slow
+	// ctx.Err() stalls the loop past the deadline, so the timer fires
+	// unconsumed, the batch fills, and timer.Stop() returns false.
+	r1done := make(chan Result, 1)
+	go func() {
+		res, err := b.Infer(context.Background(), fakeInput())
+		if err != nil {
+			t.Errorf("r1: %v", err)
+		}
+		r1done <- res
+	}()
+	time.Sleep(50 * time.Millisecond) // let r1 arm the timer
+	res2, err := b.Infer(&slowErrCtx{Context: context.Background(), delay: maxDelay + 200*time.Millisecond}, fakeInput())
+	if err != nil {
+		t.Fatalf("r2: %v", err)
+	}
+	res1 := <-r1done
+	if res1.BatchSize != 2 || res2.BatchSize != 2 {
+		t.Fatalf("setup batch served at sizes %d/%d, want 2/2", res1.BatchSize, res2.BatchSize)
+	}
+
+	// Batch 2: r3 must wait the full coalesce deadline for r4 (arriving well
+	// inside it) and serve both as one batch. With the stale expiry left in
+	// timer.C, r3 instead deadline-flushes alone immediately.
+	r3done := make(chan Result, 1)
+	go func() {
+		res, err := b.Infer(context.Background(), fakeInput())
+		if err != nil {
+			t.Errorf("r3: %v", err)
+		}
+		r3done <- res
+	}()
+	time.Sleep(80 * time.Millisecond) // well inside maxDelay
+	res4, err := b.Infer(context.Background(), fakeInput())
+	if err != nil {
+		t.Fatalf("r4: %v", err)
+	}
+	res3 := <-r3done
+	if res3.BatchSize != 2 || res4.BatchSize != 2 {
+		t.Fatalf("post-flush batch served at sizes %d/%d, want 2/2 (stale timer expiry destroyed coalescing)",
+			res3.BatchSize, res4.BatchSize)
+	}
+	if st := b.Stats(); st.MeanBatchSize <= 1.9 {
+		t.Fatalf("mean batch size %.2f, want ~2 (stale-timer premature flushes)", st.MeanBatchSize)
+	}
+}
+
+// TestBatcherCloseIdempotent: Close must be callable twice (the service
+// shutdown path and test cleanups both close), including concurrently. The
+// pre-fix Close panicked on the second close(b.stop).
+func TestBatcherCloseIdempotent(t *testing.T) {
+	b := newWith(fakeSpec, Config{}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes}})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Close()
+		}()
+	}
+	wg.Wait()
+	b.Close() // and again, sequentially
+	if _, err := b.Infer(context.Background(), fakeInput()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close Infer: %v, want ErrClosed", err)
+	}
+}
+
+// TestArgmaxNaN: NaN logits are skipped deterministically and an all-NaN
+// row reports -1, never a confident-looking class 0.
+func TestArgmaxNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		row  []float64
+		want int
+	}{
+		{"plain", []float64{0.1, 0.7, 0.3}, 1},
+		{"tie keeps first", []float64{0.5, 0.5, 0.2}, 0},
+		{"leading NaN", []float64{nan, 0.2, 0.9}, 2},
+		{"trailing NaN", []float64{0.2, 0.1, nan}, 0},
+		{"all NaN", []float64{nan, nan, nan}, -1},
+		{"single NaN", []float64{nan}, -1},
+		{"negative only", []float64{-3, -1, -2}, 1},
+		{"NaN then negative", []float64{nan, -2, -5}, 1},
+	}
+	for _, tc := range cases {
+		if got := argmaxRow(tc.row); got != tc.want {
+			t.Errorf("%s: argmaxRow(%v) = %d, want %d", tc.name, tc.row, got, tc.want)
+		}
+	}
+}
+
+// TestBatcherNaNLogitsEndToEnd: a served Result whose logits are all NaN
+// carries Argmax -1 through the full dispatch path.
+func TestBatcherNaNLogitsEndToEnd(t *testing.T) {
+	nan := math.NaN()
+	b := newWith(fakeSpec, Config{MaxDelay: time.Millisecond}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes, logits: []float64{nan, nan, nan}}})
+	defer b.Close()
+	res, err := b.Infer(context.Background(), fakeInput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Argmax != -1 {
+		t.Fatalf("all-NaN logits produced Argmax %d, want -1", res.Argmax)
+	}
+}
+
+// TestBatcherStopFlushPartialBatch: a partial batch that is assembling when
+// Close fires is served (its senders were admitted), not failed with
+// ErrClosed.
+func TestBatcherStopFlushPartialBatch(t *testing.T) {
+	b := newWith(fakeSpec, Config{MaxBatch: 4, MaxDelay: time.Hour}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes}})
+	results := make(chan Result, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, err := b.Infer(context.Background(), fakeInput())
+			if err != nil {
+				t.Errorf("admitted request failed at shutdown: %v", err)
+			}
+			results <- res
+		}()
+	}
+	// Wait until both requests are in the assembling batch (out of the
+	// queue, inside the collect loop's hour-long deadline).
+	deadline := time.Now().Add(5 * time.Second)
+	for b.requests.Load() < 2 || b.Stats().QueueDepth > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never reached the dispatcher")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the collect loop absorb both
+	b.Close()
+	for i := 0; i < 2; i++ {
+		if res := <-results; res.BatchSize != 2 {
+			t.Errorf("stop-path flush served batch size %d, want 2", res.BatchSize)
+		}
+	}
+	if st := b.Stats(); st.Items != 2 || st.DeadlineFlushes != 1 {
+		t.Errorf("stop-path flush stats: %+v", st)
+	}
+}
+
+// TestBatcherStopDrainsQueued: requests still queued (not yet batched) when
+// Close fires all fail with ErrClosed — deterministically, because a
+// signalled stop takes priority over new queue work in the dispatch loop.
+func TestBatcherStopDrainsQueued(t *testing.T) {
+	entered := make(chan int)
+	release := make(chan struct{})
+	b := newWith(fakeSpec, Config{MaxBatch: 2, MaxDelay: time.Hour, QueueCap: 8}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes, entered: entered, release: release}})
+
+	// Fill one batch; the gated predictor holds its flush open.
+	servedErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Infer(context.Background(), fakeInput())
+			servedErrs <- err
+		}()
+	}
+	if n := <-entered; n != 2 {
+		t.Fatalf("first flush batch size %d, want 2", n)
+	}
+
+	// Two more requests queue behind the in-flight flush.
+	queuedErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := b.Infer(context.Background(), fakeInput())
+			queuedErrs <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Close while the flush is still in flight, then release it. The loop
+	// must serve the in-flight batch, observe stop, and exit — leaving the
+	// queued pair for the ErrClosed drain.
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	<-b.stop // Close has signalled shutdown
+	close(release)
+	<-closed
+
+	for i := 0; i < 2; i++ {
+		if err := <-servedErrs; err != nil {
+			t.Errorf("in-flight batch request failed: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-queuedErrs; !errors.Is(err, ErrClosed) {
+			t.Errorf("queued-but-unbatched request got %v, want ErrClosed", err)
+		}
+	}
+	if st := b.Stats(); st.Items != 2 {
+		t.Errorf("items = %d, want 2 (only the in-flight batch served)", st.Items)
+	}
+}
+
+// TestBatcherReplicasParallelFlush proves the pool actually runs flushes in
+// parallel: with two gated replicas and two batches' worth of requests, both
+// replicas must be inside Forward at the same time before either is
+// released.
+func TestBatcherReplicasParallelFlush(t *testing.T) {
+	entered := make(chan int, 2)
+	release := make(chan struct{})
+	preds := []predictor{
+		&gatedPred{classes: fakeSpec.Classes, entered: entered, release: release},
+		&gatedPred{classes: fakeSpec.Classes, entered: entered, release: release},
+	}
+	b := newWith(fakeSpec, Config{MaxBatch: 2, MaxDelay: time.Hour, QueueCap: 8}.withDefaults(), preds)
+	defer func() {
+		b.Close()
+	}()
+
+	results := make(chan Result, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			res, err := b.Infer(context.Background(), fakeInput())
+			if err != nil {
+				t.Errorf("request: %v", err)
+			}
+			results <- res
+		}()
+	}
+	// Both replicas must reach Forward concurrently: two entered signals
+	// while neither flush has been released.
+	for i := 0; i < 2; i++ {
+		select {
+		case n := <-entered:
+			if n != 2 {
+				t.Errorf("flush %d batch size %d, want 2", i, n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d concurrent flushes; the pool is not parallel", i)
+		}
+	}
+	close(release)
+
+	replicasSeen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		res := <-results
+		if res.BatchSize != 2 {
+			t.Errorf("batch size %d, want 2", res.BatchSize)
+		}
+		replicasSeen[res.Replica] = true
+	}
+	if len(replicasSeen) != 2 {
+		t.Errorf("replicas used: %v, want both", replicasSeen)
+	}
+	st := b.Stats()
+	if len(st.PerReplica) != 2 {
+		t.Fatalf("per-replica stats: %+v", st.PerReplica)
+	}
+	for i, rs := range st.PerReplica {
+		if rs.Items != 2 || rs.Batches != 1 {
+			t.Errorf("replica %d stats %+v, want 2 items / 1 batch", i, rs)
+		}
+	}
+}
+
+// TestBatcherShed: with admission control on, a request arriving at a full
+// queue fails fast with ErrOverloaded — it never blocks its sender — and the
+// shed counter moves. Admitted work is unaffected.
+func TestBatcherShed(t *testing.T) {
+	entered := make(chan int)
+	release := make(chan struct{})
+	b := newWith(fakeSpec, Config{MaxBatch: 1, MaxDelay: time.Millisecond, QueueCap: 2, Shed: true}.withDefaults(),
+		[]predictor{&gatedPred{classes: fakeSpec.Classes, entered: entered, release: release}})
+
+	admitted := make(chan error, 3)
+	go func() { // r1: taken by the replica, held inside Forward
+		_, err := b.Infer(context.Background(), fakeInput())
+		admitted <- err
+	}()
+	if n := <-entered; n != 1 {
+		t.Fatalf("first flush batch size %d, want 1", n)
+	}
+	for i := 0; i < 2; i++ { // r2, r3: fill the queue to capacity
+		go func() {
+			_, err := b.Infer(context.Background(), fakeInput())
+			admitted <- err
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// r4 arrives at a full queue: immediate ErrOverloaded, no blocking.
+	start := time.Now()
+	_, err := b.Infer(context.Background(), fakeInput())
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overload request got %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("shed request blocked %v; shedding must be immediate", waited)
+	}
+	if st := b.Stats(); st.Shed != 1 || !st.ShedEnabled {
+		t.Errorf("shed stats: shed=%d enabled=%v", st.Shed, st.ShedEnabled)
+	}
+
+	// Admitted work drains normally once the gate opens.
+	go func() {
+		for range entered { // let the remaining flushes through
+		}
+	}()
+	close(release)
+	for i := 0; i < 3; i++ {
+		if err := <-admitted; err != nil {
+			t.Errorf("admitted request failed: %v", err)
+		}
+	}
+	b.Close()
+	close(entered)
+}
+
+// TestBatcherCoalesceDelayAdaptive pins the adaptive deadline curve: the
+// patient MaxDelay when the queue is idle, shrinking monotonically to
+// MinDelay as depth approaches MaxBatch.
+func TestBatcherCoalesceDelayAdaptive(t *testing.T) {
+	cfg := Config{MaxBatch: 8, MaxDelay: 8 * time.Millisecond, MinDelay: 1 * time.Millisecond, QueueCap: 32}.withDefaults()
+	b := &Batcher{cfg: cfg, reqs: make(chan *request, cfg.QueueCap)}
+
+	if d := b.coalesceDelay(); d != cfg.MaxDelay {
+		t.Fatalf("idle delay %v, want MaxDelay %v", d, cfg.MaxDelay)
+	}
+	prev := cfg.MaxDelay
+	for depth := 1; depth <= cfg.MaxBatch+4; depth++ {
+		b.reqs <- &request{}
+		d := b.coalesceDelay()
+		if d > prev {
+			t.Fatalf("delay grew with depth: %v -> %v at depth %d", prev, d, depth)
+		}
+		if d < cfg.MinDelay {
+			t.Fatalf("delay %v below MinDelay %v at depth %d", d, cfg.MinDelay, depth)
+		}
+		if depth >= cfg.MaxBatch && d != cfg.MinDelay {
+			t.Fatalf("saturated delay %v at depth %d, want MinDelay %v", d, depth, cfg.MinDelay)
+		}
+		prev = d
+	}
+	if got := b.shortDeadlines.Load(); got == 0 {
+		t.Error("short-deadline counter did not move under load")
+	}
+}
+
+// TestConfigDefaults pins the resolved knobs.
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MaxBatch != 8 || c.MaxDelay != 2*time.Millisecond || c.QueueCap != 32 {
+		t.Errorf("base defaults: %+v", c)
+	}
+	if c.MinDelay != c.MaxDelay/4 {
+		t.Errorf("MinDelay default = %v, want MaxDelay/4 = %v", c.MinDelay, c.MaxDelay/4)
+	}
+	if c.Replicas != 1 || c.Shed {
+		t.Errorf("replica/shed defaults: %+v", c)
+	}
+	clamped := Config{MaxDelay: time.Millisecond, MinDelay: time.Second}.withDefaults()
+	if clamped.MinDelay != clamped.MaxDelay {
+		t.Errorf("MinDelay not clamped to MaxDelay: %+v", clamped)
+	}
+}
+
+// TestBatcherReplicaDeterminism: with several fixed-seed replicas serving
+// concurrent traffic, identical inputs yield identical logits no matter
+// which replica or micro-batch served them, and the per-replica counters
+// account for every item.
+func TestBatcherReplicaDeterminism(t *testing.T) {
+	b, err := New(MustLookup("smallcnn"), Config{MaxBatch: 4, MaxDelay: time.Millisecond, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	spec := b.Model()
+	const total, workers, patterns = 60, 6, 3
+
+	inputs := make([][]float64, patterns)
+	for i := range inputs {
+		inputs[i] = testInput(spec, int64(i))
+	}
+	var mu sync.Mutex
+	refs := make(map[int][]float64, patterns)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += workers {
+				pat := i % patterns
+				res, err := b.Infer(context.Background(), inputs[pat])
+				if err != nil {
+					t.Errorf("request %d: %v", i, err)
+					continue
+				}
+				mu.Lock()
+				if ref, ok := refs[pat]; !ok {
+					refs[pat] = append([]float64(nil), res.Logits...)
+				} else {
+					for j := range ref {
+						if ref[j] != res.Logits[j] {
+							t.Errorf("pattern %d: logits differ across replicas/batches", pat)
+							break
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Items != total {
+		t.Errorf("items = %d, want %d", st.Items, total)
+	}
+	var perReplica int64
+	for _, rs := range st.PerReplica {
+		perReplica += rs.Items
+	}
+	if perReplica != st.Items {
+		t.Errorf("per-replica items sum %d != total items %d", perReplica, st.Items)
+	}
+	if st.Replicas != 3 || len(st.PerReplica) != 3 {
+		t.Errorf("replica stats: %+v", st)
+	}
+}

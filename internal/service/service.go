@@ -22,7 +22,8 @@
 // their own cancellable contexts shared with the same slot semaphore.
 // Errors are structured — {"error": ..., "scenario": ..., "code": ...} —
 // with 400 for malformed requests, 404 for unknown scenarios/jobs, 422 for
-// invalid params, and 503 when queueing is abandoned or the queue is full.
+// invalid params, 503 when queueing is abandoned or the queue is full, and
+// 429 + Retry-After when inference admission control sheds a request.
 //
 // Execution concurrency is bounded: at most MaxInFlight scenario runs (v1
 // and v2 combined) execute at once; excess work queues until a slot frees
@@ -69,11 +70,19 @@ type Config struct {
 	// InferModel selects the model POST /v2/infer serves ("" = smallcnn;
 	// see infer.Models for the registry).
 	InferModel string
-	// InferMaxBatch, InferMaxDelay and InferQueueCap are the micro-batcher
-	// knobs (zero values = the infer package defaults).
+	// InferMaxBatch, InferMaxDelay, InferMinDelay and InferQueueCap are the
+	// micro-batcher knobs (zero values = the infer package defaults).
 	InferMaxBatch int
 	InferMaxDelay time.Duration
+	InferMinDelay time.Duration
 	InferQueueCap int
+	// InferReplicas sizes the predictor replica pool draining the inference
+	// queue (0 = 1): one independently compiled fixed-seed replica per slot,
+	// so flushes run in parallel on multicore hosts.
+	InferReplicas int
+	// InferShed enables inference admission control: requests arriving at a
+	// full queue are rejected with 429 + Retry-After instead of blocking.
+	InferShed bool
 }
 
 // Server executes registry scenarios on one shared engine.
@@ -125,7 +134,10 @@ func New(cfg Config) *Server {
 	b, err := infer.New(spec, infer.Config{
 		MaxBatch: cfg.InferMaxBatch,
 		MaxDelay: cfg.InferMaxDelay,
+		MinDelay: cfg.InferMinDelay,
 		QueueCap: cfg.InferQueueCap,
+		Replicas: cfg.InferReplicas,
+		Shed:     cfg.InferShed,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("service: compile inference model %q: %v", model, err))
@@ -454,19 +466,45 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}(i, input)
 	}
 	wg.Wait()
+	var firstErr error
 	for _, err := range errs {
-		if err != nil {
-			s.failInfer(w, err)
-			return
+		if err == nil {
+			continue
 		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Overload wins the mapping: a request any of whose samples was shed
+		// must surface as 429 so the client backs off, even if another
+		// sample failed differently.
+		if errors.Is(err, infer.ErrOverloaded) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		s.failInfer(w, firstErr)
+		return
 	}
 	api.WriteJSON(w, http.StatusOK, resp)
 }
+
+// inferRetryAfter is the Retry-After hint sent with 429 responses. The
+// queue ahead of a shed request drains within a few coalesce deadlines;
+// Retry-After has whole-second granularity, so the floor is the honest hint.
+const inferRetryAfter = "1"
 
 // failInfer maps a batcher error onto the structured error surface.
 func (s *Server) failInfer(w http.ResponseWriter, err error) {
 	var bad *infer.BadInputError
 	switch {
+	case errors.Is(err, infer.ErrOverloaded):
+		// Admission control shed the request: 429 + Retry-After is the
+		// backpressure contract — clients back off and retry instead of
+		// piling onto a queue already beyond the replicas' drain rate.
+		w.Header().Set("Retry-After", inferRetryAfter)
+		s.fail(w, api.Errorf(http.StatusTooManyRequests, api.CodeOverloaded,
+			"", "inference queue is full; retry after backoff"))
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.cancelled.Add(1)
 		api.Write(w, api.Errorf(http.StatusServiceUnavailable, api.CodeCancelled,

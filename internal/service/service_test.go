@@ -11,9 +11,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/experiments"
+	"repro/internal/infer"
 	"repro/internal/report"
 	"repro/internal/sweep"
 )
@@ -712,5 +714,134 @@ func TestInferConcurrentClients(t *testing.T) {
 	}
 	if st.MeanBatchSize <= 1 {
 		t.Errorf("mean batch size %.2f, want > 1 under %d workers", st.MeanBatchSize, workers)
+	}
+}
+
+// TestFailInferOverloadedMapping pins the 429 wire contract in isolation:
+// ErrOverloaded maps to HTTP 429, the overloaded code, and a Retry-After
+// header, and counts as a failed request.
+func TestFailInferOverloadedMapping(t *testing.T) {
+	svc, _ := newTestServer(t, Config{})
+	rec := httptest.NewRecorder()
+	svc.failInfer(rec, infer.ErrOverloaded)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var e struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("unstructured 429 body: %s", rec.Body.Bytes())
+	}
+	if e.Code != api.CodeOverloaded || e.Error == "" {
+		t.Errorf("429 body: %s", rec.Body.Bytes())
+	}
+	if svc.Stats().Failed != 1 {
+		t.Errorf("shed request not counted as failed")
+	}
+}
+
+// TestInferOverload429: with admission control on and a deliberately tiny
+// queue, a simultaneous burst sheds — every rejected request is a 429 with
+// the overloaded code and a Retry-After header (the client retry contract),
+// every other request succeeds, and the shed/replica counters surface in
+// /v1/stats. No request may fail any other way.
+func TestInferOverload429(t *testing.T) {
+	// Overwhelming the batcher through a real HTTP stack needs the sample
+	// arrival rate to beat the drain rate. Eight inputs per request turn
+	// each (slow) HTTP arrival into eight simultaneous batcher submissions,
+	// and MaxBatch 32 with a 20ms coalesce deadline makes each smallcnn
+	// flush tens of milliseconds of work — so both replicas saturate and the
+	// rest of the burst meets a full 1-deep queue. (Batch-1 flushes don't
+	// work here: on GOMAXPROCS=1 a flush shorter than the scheduler's
+	// preemption quantum never yields to waiting senders, so the queue
+	// drains as fast as it fills.)
+	svc, ts := newTestServer(t, Config{
+		InferShed:     true,
+		InferQueueCap: 1,
+		InferMaxBatch: 32,
+		InferMaxDelay: 20 * time.Millisecond,
+		InferReplicas: 2,
+	})
+	const burst = 128
+	var ok, overloaded, other atomic.Int64
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	body := testInferInputs(8)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := http.Post(ts.URL+"/v2/infer", "application/json", strings.NewReader(body))
+			if err != nil {
+				other.Add(1)
+				t.Errorf("transport error: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Error(err)
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusTooManyRequests:
+				overloaded.Add(1)
+				if ra := resp.Header.Get("Retry-After"); ra == "" {
+					t.Error("429 without a Retry-After header")
+				}
+				var e struct {
+					Error string `json:"error"`
+					Code  string `json:"code"`
+				}
+				if err := json.Unmarshal(buf.Bytes(), &e); err != nil || e.Code != api.CodeOverloaded {
+					t.Errorf("429 body not a structured overloaded error: %s", buf.Bytes())
+				}
+			default:
+				other.Add(1)
+				t.Errorf("HTTP %d under overload, want 200 or 429: %s", resp.StatusCode, buf.Bytes())
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if other.Load() != 0 {
+		t.Fatalf("%d non-429 failures under overload", other.Load())
+	}
+	if overloaded.Load() == 0 {
+		t.Fatalf("overload burst of %d against queue cap 1 produced no 429s", burst)
+	}
+	t.Logf("burst served %d requests fully, shed %d", ok.Load(), overloaded.Load())
+	// Shed counts samples; a 429 response means at least one of its eight
+	// samples was shed, so the sample counter dominates the response count.
+	st := svc.Batcher().Stats()
+	if st.Items == 0 {
+		t.Error("overload burst: the pool forwarded no samples at all")
+	}
+	if st.Shed < overloaded.Load() {
+		t.Errorf("shed counter %d < observed 429s %d", st.Shed, overloaded.Load())
+	}
+	if st.Replicas != 2 || len(st.PerReplica) != 2 || !st.ShedEnabled {
+		t.Errorf("replica/shed config in stats: %+v", st)
+	}
+
+	// The wire form: /v1/stats carries shed, replicas and per_replica.
+	resp, body2 := httpGet(t, ts, "/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: HTTP %d", resp.StatusCode)
+	}
+	var sr StatsResponse
+	if err := json.Unmarshal(body2, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Infer.Shed != st.Shed || sr.Infer.Replicas != 2 || len(sr.Infer.PerReplica) != 2 {
+		t.Errorf("stats wire form: %+v", sr.Infer)
 	}
 }

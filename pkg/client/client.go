@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -64,6 +65,10 @@ type APIError struct {
 	Message  string `json:"error"`
 	Scenario string `json:"scenario,omitempty"`
 	Code     string `json:"code"`
+	// RetryAfter is the parsed Retry-After header on a 429 (overloaded)
+	// response — the server's backoff hint before the request is retried.
+	// Zero when the server sent no usable hint.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *APIError) Error() string {
@@ -83,8 +88,17 @@ const (
 	CodeRunFailed       = "run_failed"
 	CodeCancelled       = "cancelled"
 	CodeUnavailable     = "unavailable"
+	CodeOverloaded      = "overloaded"
 	CodeInternal        = "internal"
 )
+
+// Overloaded reports whether err is a 429 shed by inference admission
+// control; callers should back off for err.(*APIError).RetryAfter (or their
+// own default) and retry.
+func Overloaded(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
 
 // ScenarioParam describes one typed scenario parameter.
 type ScenarioParam struct {
@@ -160,21 +174,33 @@ type InferResponse struct {
 	BatchSizes []int       `json:"batch_sizes"`
 }
 
+// ReplicaStats is one pool member's share of the served work.
+type ReplicaStats struct {
+	Batches int64 `json:"batches"`
+	Items   int64 `json:"items"`
+}
+
 // InferStats is the inference-batcher section of Stats.
 type InferStats struct {
-	Model           string  `json:"model"`
-	MaxBatch        int     `json:"max_batch"`
-	MaxDelay        string  `json:"max_delay"`
-	QueueCap        int     `json:"queue_cap"`
-	PackedKB        float64 `json:"packed_weight_kb"`
-	Requests        int64   `json:"requests"`
-	Items           int64   `json:"items"`
-	Batches         int64   `json:"batches"`
-	FullFlushes     int64   `json:"full_flushes"`
-	DeadlineFlushes int64   `json:"deadline_flushes"`
-	Cancelled       int64   `json:"cancelled"`
-	QueueDepth      int     `json:"queue_depth"`
-	MeanBatchSize   float64 `json:"mean_batch_size"`
+	Model           string         `json:"model"`
+	MaxBatch        int            `json:"max_batch"`
+	MaxDelay        string         `json:"max_delay"`
+	MinDelay        string         `json:"min_delay"`
+	QueueCap        int            `json:"queue_cap"`
+	Replicas        int            `json:"replicas"`
+	ShedEnabled     bool           `json:"shed_enabled"`
+	PackedKB        float64        `json:"packed_weight_kb"`
+	Requests        int64          `json:"requests"`
+	Items           int64          `json:"items"`
+	Batches         int64          `json:"batches"`
+	FullFlushes     int64          `json:"full_flushes"`
+	DeadlineFlushes int64          `json:"deadline_flushes"`
+	Cancelled       int64          `json:"cancelled"`
+	Shed            int64          `json:"shed"`
+	ShortDeadlines  int64          `json:"short_deadlines"`
+	QueueDepth      int            `json:"queue_depth"`
+	MeanBatchSize   float64        `json:"mean_batch_size"`
+	PerReplica      []ReplicaStats `json:"per_replica"`
 }
 
 // EngineStats is the tensor-kernel section of Stats.
@@ -252,6 +278,9 @@ func (c *Client) do(ctx context.Context, method, path string, body any) (*http.R
 			ae.Message = resp.Status
 		}
 		ae.Code = CodeInternal
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
 	}
 	return nil, ae
 }

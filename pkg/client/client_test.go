@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/service"
 )
@@ -184,5 +186,66 @@ func TestCancelThroughClient(t *testing.T) {
 	}
 	if stats.Jobs.Submitted != 1 {
 		t.Errorf("submitted = %d, want 1", stats.Jobs.Submitted)
+	}
+}
+
+// TestOverloaded429Decoding pins the client half of the backpressure
+// contract: a 429 decodes into *APIError with the overloaded code and the
+// parsed Retry-After hint, and Overloaded recognises it.
+func TestOverloaded429Decoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"error":"inference queue is full; retry after backoff","code":"overloaded"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Infer(context.Background(), [][]float64{{1}})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T (%v), want *APIError", err, err)
+	}
+	if ae.Status != 429 || ae.Code != CodeOverloaded {
+		t.Errorf("got %d/%s, want 429/%s", ae.Status, ae.Code, CodeOverloaded)
+	}
+	if ae.RetryAfter != 3*time.Second {
+		t.Errorf("RetryAfter = %v, want 3s", ae.RetryAfter)
+	}
+	if !Overloaded(err) {
+		t.Error("Overloaded(429 APIError) = false")
+	}
+	if Overloaded(nil) || Overloaded(errors.New("boom")) || Overloaded(&APIError{Status: 503}) {
+		t.Error("Overloaded matched a non-429 error")
+	}
+}
+
+// TestInferStatsMirror round-trips the replica-pool stats through the wire
+// into the client mirror types.
+func TestInferStatsMirror(t *testing.T) {
+	svc := service.New(service.Config{InferReplicas: 2, InferShed: true})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	c := New(ts.URL)
+	ctx := context.Background()
+	if _, err := c.Infer(ctx, [][]float64{make([]float64, 768)}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := st.Infer
+	if in.Replicas != 2 || len(in.PerReplica) != 2 || !in.ShedEnabled {
+		t.Errorf("replica pool stats did not mirror: %+v", in)
+	}
+	if in.MinDelay == "" || in.Requests != 1 || in.Items != 1 {
+		t.Errorf("counter mirror: %+v", in)
+	}
+	if in.PerReplica[0].Items+in.PerReplica[1].Items != in.Items {
+		t.Errorf("per-replica items %+v don't sum to %d", in.PerReplica, in.Items)
 	}
 }
