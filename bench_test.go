@@ -20,9 +20,11 @@ package repro_test
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"testing"
 	"time"
 
@@ -36,6 +38,20 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/tensor"
 )
+
+// TestMain autotunes the GEMM kernel configuration before benchmark runs —
+// the same startup pass mbstrain and mbsd perform — and prints the chosen
+// config as a parseable line that cmd/benchjson lifts into the snapshot
+// metadata, so every BENCH_<n>.json records the kernel configuration its
+// numbers were measured under.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		r := tensor.Autotune()
+		fmt.Printf("gemm-config: config=%s simd=%v autotuned=true\n", r.Config, tensor.SIMDEnabled())
+	}
+	os.Exit(m.Run())
+}
 
 // newRunner returns a fresh parallel runner. Benchmarks construct one per
 // iteration so the sweep cache never carries artifacts across iterations

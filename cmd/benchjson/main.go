@@ -32,16 +32,23 @@ type Result struct {
 
 // Snapshot is the file layout: context fields plus the results.
 type Snapshot struct {
-	GOOS    string   `json:"goos,omitempty"`
-	GOARCH  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GemmConfig/SIMD/Autotuned record the kernel configuration the bench
+	// harness's TestMain autotuned before measuring (the "gemm-config:"
+	// line), so snapshots are comparable only when their configs are.
+	GemmConfig string   `json:"gemm_config,omitempty"`
+	SIMD       *bool    `json:"simd,omitempty"`
+	Autotuned  *bool    `json:"autotuned,omitempty"`
+	Results    []Result `json:"results"`
 }
 
 var (
 	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(.*)$`)
 	memPart   = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
 	ctxLine   = regexp.MustCompile(`^(goos|goarch|cpu): (.+)$`)
+	gemmLine  = regexp.MustCompile(`^gemm-config: config=(\S+) simd=(true|false) autotuned=(true|false)$`)
 )
 
 func main() {
@@ -66,6 +73,14 @@ func main() {
 			case "cpu":
 				snap.CPU = m[2]
 			}
+			continue
+		}
+		if m := gemmLine.FindStringSubmatch(line); m != nil {
+			snap.GemmConfig = m[1]
+			simd := m[2] == "true"
+			tuned := m[3] == "true"
+			snap.SIMD = &simd
+			snap.Autotuned = &tuned
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)

@@ -42,6 +42,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/infer"
 	"repro/internal/service"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -58,6 +59,8 @@ func main() {
 	inferReplicas := flag.Int("infer-replicas", 1, "predictor replicas draining the inference queue")
 	inferShed := flag.Bool("infer-shed", true,
 		"shed inference requests with 429 + Retry-After when the queue is full (false = block senders)")
+	gemmBlock := flag.String("gemm-block", "",
+		"GEMM blocking KCxNC or KCxNC:MRxNR (empty = startup autotune; KC changes are bit-visible)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -68,6 +71,18 @@ func main() {
 
 	if _, ok := infer.Lookup(*inferModel); !ok {
 		log.Fatalf("mbsd: unknown -infer-model %q (have %v)", *inferModel, infer.Models())
+	}
+	if *gemmBlock != "" {
+		cfg, err := tensor.ParseKernelConfig(*gemmBlock)
+		if err != nil {
+			log.Fatalf("mbsd: %v", err)
+		}
+		if _, err := tensor.SetKernelConfig(cfg); err != nil {
+			log.Fatalf("mbsd: %v", err)
+		}
+		log.Printf("mbsd: gemm config=%s (from -gemm-block)", cfg)
+	} else {
+		log.Printf("mbsd: gemm autotune %s", tensor.Autotune())
 	}
 	svc := service.New(service.Config{
 		Workers:       *parallel,

@@ -43,6 +43,10 @@ func main() {
 	checkOnly := flag.Bool("check", false, "only run the gradient-equivalence check")
 	engine := flag.String("engine", "gemm", "compute engine: gemm (im2col + parallel blocked GEMM) or naive (reference loops)")
 	threads := flag.Int("threads", 0, "kernel goroutines (0 = GOMAXPROCS)")
+	gemmBlock := flag.String("gemm-block", "",
+		"GEMM blocking KCxNC or KCxNC:MRxNR (empty = startup autotune; KC changes are bit-visible)")
+	fp16 := flag.Bool("fp16", false,
+		"train with half-precision linear weights (fp32 masters/gradients; GEMM engine only)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -58,6 +62,20 @@ func main() {
 	}
 	tensor.SetEngine(eng)
 	tensor.SetThreads(*threads)
+	if *gemmBlock != "" {
+		cfg, err := tensor.ParseKernelConfig(*gemmBlock)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if _, err := tensor.SetKernelConfig(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("gemm: config=%s (from -gemm-block)\n", cfg)
+	} else {
+		fmt.Printf("gemm: autotune %s\n", tensor.Autotune())
+	}
 	fmt.Printf("engine=%s threads=%d\n", eng, tensor.Threads())
 
 	// Ctrl-C cancels the training run at the next epoch boundary instead of
@@ -79,6 +97,14 @@ func main() {
 		}
 		if *subBatch > 0 {
 			cfg.SubBatch = *subBatch
+		}
+		if *fp16 {
+			if eng != tensor.EngineGEMM {
+				fmt.Fprintln(os.Stderr, "mbstrain: -fp16 requires -engine gemm")
+				os.Exit(2)
+			}
+			cfg.FP16 = true
+			fmt.Println("fp16: half-precision linear weights (fp32 masters)")
 		}
 		if _, err := experiments.Fig6(ctx, os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "mbstrain: interrupted")

@@ -22,6 +22,9 @@ type Fig6Config struct {
 	LRDecayAt []int // epochs at which LR is multiplied by 0.1 (paper: 30/60/80)
 	Seed      int64
 	Data      synth.Config
+	// FP16 trains with half-precision linear weights (fp32 masters; see
+	// nn.Model.SetFP16Weights). Requires the GEMM engine.
+	FP16 bool
 }
 
 // DefaultFig6Config returns a laptop-scale configuration that exhibits the
@@ -80,6 +83,9 @@ func Fig6(ctx context.Context, w io.Writer, cfg Fig6Config) (*Fig6Result, error)
 	for _, run := range runs {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		m := nn.BuildSmallCNN(rng, cfg.Data.Channels, cfg.Data.Size, cfg.Data.Classes, run.norm, 8)
+		if cfg.FP16 {
+			m.SetFP16Weights(true)
+		}
 		opt := &nn.SGD{LR: cfg.LR, Momentum: 0.9, WeightDecay: 1e-4}
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
 			if err := ctx.Err(); err != nil {

@@ -192,6 +192,10 @@ type Linear struct {
 	x       *tensor.Tensor
 	out     outBufs
 	dx      *tensor.Tensor
+	// f16w, when non-nil, is the half-precision weight store the forward
+	// matmul reads instead of Weight.Data (see fp16.go). Repacked from the
+	// fp32 master after every optimizer step.
+	f16w *tensor.PackedF16
 }
 
 // NewLinear builds a dense layer with He-normal initialization.
@@ -213,6 +217,10 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
 	if reuseBuffers() {
 		out := ensure2(l.out.sel(train), n, l.Out)
+		if l.f16w != nil {
+			tensor.MatMulPackedF16(n, x.Data, l.f16w, out.Data, l.Bias.Data.Data, false, nil)
+			return out
+		}
 		tensor.LinearInto(out, x, l.Weight.Data, l.Bias.Data, false)
 		return out
 	}

@@ -76,6 +76,7 @@ type Model struct {
 
 	params   []*Param       // memoized: Sequential.Params allocates per call
 	lossGrad *tensor.Tensor // reused dLogits buffer (GEMM engine)
+	fp16     []*Linear      // layers on the fp16-weight path (see fp16.go)
 }
 
 // Params returns the model's parameters, memoized — the layer structure is
@@ -113,6 +114,7 @@ func (m *Model) TrainStepFull(x *tensor.Tensor, labels []int, opt *SGD) float64 
 	loss, dlogits := m.Loss(x, labels, true)
 	m.Net.Backward(dlogits)
 	opt.Step(m.Params())
+	m.refreshFP16()
 	return loss
 }
 
@@ -149,6 +151,7 @@ func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *
 		loss += subLoss * scale
 	}
 	opt.Step(m.Params())
+	m.refreshFP16()
 	return loss
 }
 

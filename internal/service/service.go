@@ -260,8 +260,11 @@ type StatsResponse struct {
 // EngineStats reports the active tensor.Engine configuration the inference
 // and training kernels run under.
 type EngineStats struct {
-	Kernel  string `json:"kernel"`  // "gemm" or "naive"
-	Threads int    `json:"threads"` // resolved kernel parallelism
+	Kernel     string `json:"kernel"`      // "gemm" or "naive"
+	Threads    int    `json:"threads"`     // resolved kernel parallelism
+	GemmConfig string `json:"gemm_config"` // KCxNC:MRxNR blocking + micro-tile
+	Autotuned  bool   `json:"autotuned"`   // config chosen by tensor.Autotune
+	SIMD       bool   `json:"simd"`        // AVX2+FMA kernels active
 }
 
 // CacheStats is the JSON form of sweep.Stats.
@@ -298,8 +301,11 @@ func (s *Server) Stats() StatsResponse {
 		Cancelled:   s.cancelled.Load(),
 		Jobs:        js,
 		Engine: EngineStats{
-			Kernel:  tensor.CurrentEngine().String(),
-			Threads: tensor.Threads(),
+			Kernel:     tensor.CurrentEngine().String(),
+			Threads:    tensor.Threads(),
+			GemmConfig: tensor.CurrentKernelConfig().String(),
+			Autotuned:  tensor.Autotuned() != nil,
+			SIMD:       tensor.SIMDEnabled(),
 		},
 		Infer: s.batcher.Stats(),
 		Cache: CacheStats{

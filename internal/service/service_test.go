@@ -18,6 +18,7 @@ import (
 	"repro/internal/infer"
 	"repro/internal/report"
 	"repro/internal/sweep"
+	"repro/internal/tensor"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -759,7 +760,12 @@ func TestInferOverload429(t *testing.T) {
 	// rest of the burst meets a full 1-deep queue. (Batch-1 flushes don't
 	// work here: on GOMAXPROCS=1 a flush shorter than the scheduler's
 	// preemption quantum never yields to waiting senders, so the queue
-	// drains as fast as it fills.)
+	// drains as fast as it fills.) The AVX2 kernels push even batch-32
+	// flushes under that quantum, so pin the portable kernels — this test
+	// exercises HTTP backpressure, not compute speed.
+	if prev := tensor.SetSIMD(false); prev {
+		defer tensor.SetSIMD(true)
+	}
 	svc, ts := newTestServer(t, Config{
 		InferShed:     true,
 		InferQueueCap: 1,

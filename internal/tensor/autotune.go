@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Startup autotuner. Autotune benchmarks a small grid of kernel
+// configurations — NC panel widths crossed with the implemented micro-tile
+// shapes, KC held fixed — on GEMM shapes representative of this repo's
+// hot paths (the im2col convolution product and the MLP layer product),
+// installs the fastest configuration via SetKernelConfig, and caches the
+// result so later callers get the winner without re-measuring.
+//
+// KC is deliberately not searched: a KC change regroups each output
+// element's depth sum and is therefore bit-visible (see KernelConfig).
+// Everything the tuner varies — NC and the micro-tile shape — only moves
+// work between registers and cache levels, so every candidate produces
+// bit-identical outputs and the winner can be adopted mid-fleet without
+// breaking reproducibility.
+
+// AutotuneCandidate is one measured configuration.
+type AutotuneCandidate struct {
+	Config KernelConfig  `json:"config"`
+	Time   time.Duration `json:"time"`
+}
+
+// AutotuneResult is the cached outcome of a tuning run.
+type AutotuneResult struct {
+	Config     KernelConfig        `json:"config"`
+	SIMD       bool                `json:"simd"`
+	Candidates []AutotuneCandidate `json:"candidates"`
+	Elapsed    time.Duration       `json:"elapsed"`
+}
+
+// String summarizes the result for startup logs.
+func (r *AutotuneResult) String() string {
+	simd := "off"
+	if r.SIMD {
+		simd = "on"
+	}
+	return fmt.Sprintf("config=%s simd=%s candidates=%d tuned in %v",
+		r.Config, simd, len(r.Candidates), r.Elapsed.Round(time.Millisecond))
+}
+
+var (
+	autotuneMu     sync.Mutex
+	autotuneResult *AutotuneResult
+)
+
+// Autotuned returns the cached tuning result, or nil if Autotune has not
+// run (stats report the default config as untuned in that case).
+func Autotuned() *AutotuneResult {
+	autotuneMu.Lock()
+	defer autotuneMu.Unlock()
+	return autotuneResult
+}
+
+// Autotune measures the candidate grid once per process, installs the
+// winner, and returns the cached result on subsequent calls. It is intended
+// to run at binary startup, before serving or training begins; a tuning
+// pass costs tens of milliseconds.
+func Autotune() *AutotuneResult {
+	autotuneMu.Lock()
+	defer autotuneMu.Unlock()
+	if autotuneResult != nil {
+		return autotuneResult
+	}
+	r := runAutotune()
+	if _, err := SetKernelConfig(r.Config); err != nil {
+		// Unreachable: candidates come from the validated grid.
+		panic(err)
+	}
+	autotuneResult = r
+	return r
+}
+
+// autotuneShapes are the measured GEMM problem sizes: the im2col product
+// of the smallcnn conv layer (tall-skinny depth 144) and a square MLP-like
+// layer product. Both small enough to keep startup cost in the tens of
+// milliseconds, big enough to exercise the panel loop.
+var autotuneShapes = [][3]int{
+	{128, 144, 128}, // im2col conv: m = spatial block, k = inC*3*3, n = outC block
+	{96, 192, 192},  // MLP layer block
+}
+
+func runAutotune() *AutotuneResult {
+	start := time.Now()
+	prev := CurrentKernelConfig()
+	defer kernelCfg.Store(&prev) // measure under each candidate, restore after
+
+	// Preallocate the largest buffers once; every candidate reuses them.
+	var mMax, kMax, nMax int
+	for _, s := range autotuneShapes {
+		mMax, kMax, nMax = max(mMax, s[0]), max(kMax, s[1]), max(nMax, s[2])
+	}
+	a := make([]float64, mMax*kMax)
+	b := make([]float64, kMax*nMax)
+	c := make([]float64, mMax*nMax)
+	for i := range a {
+		a[i] = float64(i%13) - 6
+	}
+	for i := range b {
+		b[i] = float64(i%11) - 5
+	}
+
+	var cands []AutotuneCandidate
+	for _, nc := range []int{256, 512, 1024} {
+		for _, sh := range microShapes {
+			cfg := KernelConfig{KC: prev.KC, NC: nc, MR: sh.mr, NR: sh.nr}
+			kernelCfg.Store(&cfg)
+			cands = append(cands, AutotuneCandidate{
+				Config: cfg,
+				Time:   timeConfig(a, b, c),
+			})
+		}
+	}
+	// Stable outcome under timing jitter: sort by time, break ties toward
+	// the default config's shape ordering (the grid order is deterministic).
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Time < cands[j].Time })
+	return &AutotuneResult{
+		Config:     cands[0].Config,
+		SIMD:       SIMDEnabled(),
+		Candidates: cands,
+		Elapsed:    time.Since(start),
+	}
+}
+
+// timeConfig runs every autotune shape under the currently-stored config
+// and returns the best of three sweeps (min filters scheduler noise).
+func timeConfig(a, b, c []float64) time.Duration {
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < 3; rep++ {
+		t0 := time.Now()
+		for _, s := range autotuneShapes {
+			m, k, n := s[0], s[1], s[2]
+			gemmBlocked(m, k, n, a, k, b, n, c, n, true)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -9,9 +9,9 @@ import "fmt"
 // gemmFused folds the bias and activation into the GEMM's own blocked
 // loop: they run per column block right after its last depth panel — while
 // the block is still cache-hot — so the epilogue costs no extra trip over
-// the activations and no second buffer. The accumulate loops are exactly
-// gemmAcc's (the zero init is the same streaming write the unfused flow
-// spent on its bias prefill).
+// the activations and no second buffer. The accumulate core is exactly
+// gemmBlocked's overwrite path (first depth panel stores its register
+// accumulators directly; later panels continue the chain from memory).
 //
 // Numerics: every output element still accumulates its k terms in ascending
 // order, so results are bit-identical for any thread count. Relative to the
@@ -24,35 +24,17 @@ import "fmt"
 // layer layout, where columns are output features. At most one may be
 // non-nil. relu clamps negatives to zero after the bias.
 func gemmFused(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, rowBias, colBias []float64, relu bool) {
-	for jj := 0; jj < n; jj += ncBlock {
-		jn := n - jj
-		if jn > ncBlock {
-			jn = ncBlock
-		}
-		for pp := 0; pp < k; pp += kcBlock {
-			pk := k - pp
-			if pk > kcBlock {
-				pk = kcBlock
-			}
+	cfg := kernelCfg.Load()
+	for jj := 0; jj < n; jj += cfg.NC {
+		jn := min(n-jj, cfg.NC)
+		if k == 0 {
 			for i := 0; i < m; i++ {
-				ci := c[i*ldc+jj : i*ldc+jj+jn]
-				ai := a[i*lda+pp : i*lda+pp+pk]
-				if pp == 0 {
-					// The zero init replaces the unfused flow's bias-prefill
-					// pass (same cost, a streaming write); the accumulate
-					// loops below are exactly gemmAcc's.
-					zeroFloats(ci)
-				}
-				for p, av := range ai {
-					if av == 0 {
-						continue
-					}
-					bp := b[(pp+p)*ldb+jj : (pp+p)*ldb+jj+jn]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
-				}
+				zeroFloats(c[i*ldc+jj : i*ldc+jj+jn])
 			}
+		}
+		for pp := 0; pp < k; pp += cfg.KC {
+			pk := min(k-pp, cfg.KC)
+			runPanel(cfg.MR, m, pk, jn, a[pp:], lda, b[pp*ldb+jj:], ldb, c[jj:], ldc, pp > 0)
 		}
 		// Epilogue: bias + activation on the finished column block.
 		for i := 0; i < m; i++ {

@@ -2,68 +2,111 @@ package tensor
 
 import "fmt"
 
-// Blocked GEMM kernels. All three variants accumulate (C += ...) over
-// row-major slices with explicit leading dimensions, and all of them sum
-// every output element in a fixed ascending order over the shared dimension
-// — so results are bit-identical no matter how callers partition the work
-// across goroutines.
+// Blocked GEMM drivers. All variants work on row-major slices with explicit
+// leading dimensions and sum every output element in a fixed ascending order
+// over the shared dimension — so results are bit-identical no matter how
+// callers partition the work across goroutines. The inner loops are the
+// register-tiled micro-kernels in microkernel.go.
 //
-// Blocking constants: one (kcBlock x ncBlock) panel of B is 1 MiB
+// Default blocking: one (kcBlock x ncBlock) panel of B is 1 MiB
 // (256*512*8 B), sized to stay L2-resident across the whole i loop while
-// rows of A and C stream past it.
+// rows of A and C stream past it. The live values come from KernelConfig
+// (settable via SetBlocking / the autotuner); these consts are its defaults.
 const (
 	kcBlock = 256 // rows of B (depth) per panel
 	ncBlock = 512 // columns of B per panel
 )
 
-// gemmAcc computes C[m,n] += A[m,k] * B[k,n].
-// lda/ldb/ldc are leading dimensions (row strides) of the raw slices.
-// The inner loop is an axpy over a contiguous row of B and C, which the
-// compiler keeps bounds-check free; zero elements of A (common for
-// ReLU-gated gradients) skip their whole row of work.
-func gemmAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
-	for jj := 0; jj < n; jj += ncBlock {
-		jn := n - jj
-		if jn > ncBlock {
-			jn = ncBlock
-		}
-		for pp := 0; pp < k; pp += kcBlock {
-			pk := k - pp
-			if pk > kcBlock {
-				pk = kcBlock
-			}
+// gemmBlocked computes C[m,n] = A[m,k] * B[k,n] (overwrite=true) or
+// C += A * B (overwrite=false) by panel blocking B and dispatching each
+// panel to the configured register micro-kernel. In overwrite mode the
+// first depth panel stores its register accumulators directly — the same
+// ascending-depth chain the old zero-init + accumulate produced, without
+// the prefill pass — and later panels continue the chain from memory.
+func gemmBlocked(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, overwrite bool) {
+	cfg := kernelCfg.Load()
+	if k == 0 {
+		if overwrite {
 			for i := 0; i < m; i++ {
-				ci := c[i*ldc+jj : i*ldc+jj+jn]
-				ai := a[i*lda+pp : i*lda+pp+pk]
-				for p, av := range ai {
-					if av == 0 {
-						continue
-					}
-					bp := b[(pp+p)*ldb+jj : (pp+p)*ldb+jj+jn]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
-				}
+				zeroFloats(c[i*ldc : i*ldc+n])
 			}
+		}
+		return
+	}
+	for jj := 0; jj < n; jj += cfg.NC {
+		jn := min(n-jj, cfg.NC)
+		for pp := 0; pp < k; pp += cfg.KC {
+			pk := min(k-pp, cfg.KC)
+			runPanel(cfg.MR, m, pk, jn, a[pp:], lda, b[pp*ldb+jj:], ldb, c[jj:], ldc, !overwrite || pp > 0)
 		}
 	}
 }
 
 // gemmNTAcc computes C[m,n] += A[m,k] * B[n,k]^T.
-// Each output element is a dot product of two contiguous rows, summed in
-// ascending k order. Columns are processed in tiles of four B rows that
-// stay L1-resident across the whole i loop (one pass over A computes four
-// dots), cutting the B re-streaming that otherwise dominates the weight-
-// gradient GEMM; the tiling regroups whole dots, so every element's value
-// is bit-identical to the untiled loop.
+// Each output element is a dot of two contiguous rows. On AVX2 hosts four
+// dots run per fmaNT4 call (vectorized over k with a fixed 4-lane
+// reduction — the split depends only on k, never on threads or blocking).
+// The portable path is a 2x4 register tile: four B rows stay L1-resident
+// across the i loop while two A rows feed eight independent scalar
+// accumulator chains in ascending k order. Tiling regroups whole dots,
+// never terms, so the portable path is bit-identical to the untiled loop.
 func gemmNTAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if simdOn.Load() && k > 0 {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			for i := 0; i < m; i++ {
+				fmaNT4(&a[i*lda], &b[j*ldb], ldb, k, &c[i*ldc+j])
+			}
+		}
+		for ; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			for i := 0; i < m; i++ {
+				ai := a[i*lda : i*lda+k]
+				var s float64
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				c[i*ldc+j] += s
+			}
+		}
+		return
+	}
 	j := 0
 	for ; j+4 <= n; j += 4 {
-		b0 := b[j*ldb : j*ldb+k]
+		b0 := b[(j+0)*ldb : (j+0)*ldb+k]
 		b1 := b[(j+1)*ldb : (j+1)*ldb+k]
 		b2 := b[(j+2)*ldb : (j+2)*ldb+k]
 		b3 := b[(j+3)*ldb : (j+3)*ldb+k]
-		for i := 0; i < m; i++ {
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := a[(i+0)*lda : (i+0)*lda+k]
+			a1 := a[(i+1)*lda : (i+1)*lda+k]
+			var s00, s01, s02, s03 float64
+			var s10, s11, s12, s13 float64
+			for p, av := range a0 {
+				bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+				s00 += av * bv0
+				s01 += av * bv1
+				s02 += av * bv2
+				s03 += av * bv3
+				av = a1[p]
+				s10 += av * bv0
+				s11 += av * bv1
+				s12 += av * bv2
+				s13 += av * bv3
+			}
+			r0 := c[(i+0)*ldc+j : (i+0)*ldc+j+4 : (i+0)*ldc+j+4]
+			r1 := c[(i+1)*ldc+j : (i+1)*ldc+j+4 : (i+1)*ldc+j+4]
+			r0[0] += s00
+			r0[1] += s01
+			r0[2] += s02
+			r0[3] += s03
+			r1[0] += s10
+			r1[1] += s11
+			r1[2] += s12
+			r1[3] += s13
+		}
+		for ; i < m; i++ {
 			ai := a[i*lda : i*lda+k]
 			var s0, s1, s2, s3 float64
 			for p, av := range ai {
@@ -93,13 +136,20 @@ func gemmNTAcc(m, k, n int, a []float64, lda int, b []float64, ldb int, c []floa
 }
 
 // gemmTNAcc computes C[m,n] += A[k,m]^T * B[k,n] for the row range
-// [iLo,iHi) of C. Output rows are processed in tiles of eight so a tile of
-// C stays L1-resident across the whole (outer) p loop instead of the full
-// C row range being re-streamed once per p; within a tile, rows of A and B
-// are contiguous. Restricting the i range lets callers partition C's rows
-// across goroutines, and every element accumulates p in ascending order
-// regardless of the tiling — bit-identical for any thread count.
+// [iLo,iHi) of C. On AVX2 hosts a 4-row register tile (fmaPanelT4) loads a
+// C block into accumulators first, then adds terms in ascending p — the
+// identical per-element chain the term-by-term memory accumulation
+// produces, held in registers. The portable path processes output rows in
+// tiles of eight so a tile of C stays L1-resident across the whole (outer)
+// p loop; within a tile, rows of A and B are contiguous. Restricting the i
+// range lets callers partition C's rows across goroutines, and every
+// element accumulates p in ascending order regardless of the tiling —
+// bit-identical for any thread count.
 func gemmTNAcc(iLo, iHi, k, n int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if simdOn.Load() && k > 0 && n > 0 && iLo < iHi {
+		simdPanelT(iLo, iHi, k, n, a, lda, b, ldb, c, ldc)
+		return
+	}
 	for ii := iLo; ii < iHi; ii += 8 {
 		im := ii + 8
 		if im > iHi {
@@ -138,14 +188,11 @@ func MatMulInto(dst, a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: matmul dst %v for %v x %v", dst.Shape, a.Shape, b.Shape))
 	}
 	if Threads() <= 1 || m == 1 {
-		zeroFloats(dst.Data)
-		gemmAcc(m, k, n, a.Data, k, b.Data, n, dst.Data, n)
+		gemmBlocked(m, k, n, a.Data, k, b.Data, n, dst.Data, n, true)
 		return dst
 	}
 	parallelFor(m, func(lo, hi int) {
-		rows := dst.Data[lo*n : hi*n]
-		zeroFloats(rows)
-		gemmAcc(hi-lo, k, n, a.Data[lo*k:], k, b.Data, n, rows, n)
+		gemmBlocked(hi-lo, k, n, a.Data[lo*k:], k, b.Data, n, dst.Data[lo*n:], n, true)
 	})
 	return dst
 }

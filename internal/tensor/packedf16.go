@@ -8,21 +8,24 @@ import (
 
 // PackedF16 is a GEMM B matrix repacked once into the blocked kernel's
 // traversal order and stored in half precision — the serving fast path's
-// reusable packed-weight buffer.
+// reusable packed-weight buffer, and the weight store of the fp16 training
+// path.
 //
-// Layout: for each ncBlock column panel, for each kcBlock depth panel, the
-// pk x jn block is stored contiguously (rows p ascending, columns j
-// ascending). The multiply then walks the packed storage strictly
-// sequentially — no leading-dimension strides — and decodes one panel at a
-// time into a pooled fp32-accumulate-style f64 tile that every row of A
-// reuses.
+// Layout: for each kc x nc panel (the KernelConfig blocking captured at
+// pack time — the packed order must match the multiply's panel walk even if
+// the process-wide config changes later), the pk x jn block is stored
+// contiguously (rows p ascending, columns j ascending). The multiply then
+// walks the packed storage strictly sequentially — no leading-dimension
+// strides — and decodes one panel at a time into a pooled f64 tile that
+// every row of A reuses.
 //
 // That reuse is the paper's thesis in miniature: a single-sample inference
 // (m=1) pays the full decode + memory traffic of every weight panel for one
 // row of work, while a coalesced micro-batch (m=8) amortizes each panel
 // decode across eight rows — turning a decode/bandwidth-bound call into a
-// compute-bound one. Packing happens once per model (weights are static
-// under serving), never per call.
+// compute-bound one. Packing happens once per model under serving (weights
+// are static); the fp16 training path re-packs in place via PackF16Into
+// after each optimizer step.
 type PackedF16 struct {
 	// K and N are the dimensions of the original [K, N] matrix.
 	K, N int
@@ -30,23 +33,42 @@ type PackedF16 struct {
 	// introduced across all weights (reported for observability).
 	MaxErr float64
 
+	// kc and nc are the panel blocking the layout was built with.
+	kc, nc int
+
 	panels []f16.F16
 }
 
-// PackF16 packs a [K, N] matrix into panel-major half-precision storage.
-// Call it once per model; the packed buffer is immutable and safe for
-// concurrent readers.
+// PackF16 packs a [K, N] matrix into panel-major half-precision storage
+// under the current KernelConfig blocking. The packed buffer is immutable
+// and safe for concurrent readers; repack via PackF16Into to mutate.
 func PackF16(b *Tensor) *PackedF16 {
+	pb := &PackedF16{}
+	PackF16Into(pb, b)
+	return pb
+}
+
+// PackF16Into (re)packs b into pb, reusing pb's storage when the size
+// matches — the fp16 training path calls this after every optimizer step,
+// so steady-state repacking allocates nothing. Not safe concurrently with
+// readers of pb; training owns its packed weights between steps.
+func PackF16Into(pb *PackedF16, b *Tensor) {
 	if len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: PackF16 wants a [K,N] matrix, got %v", b.Shape))
 	}
+	cfg := kernelCfg.Load()
 	k, n := b.Shape[0], b.Shape[1]
-	pb := &PackedF16{K: k, N: n, panels: make([]f16.F16, k*n)}
+	pb.K, pb.N = k, n
+	pb.kc, pb.nc = cfg.KC, cfg.NC
+	pb.MaxErr = 0
+	if len(pb.panels) != k*n {
+		pb.panels = make([]f16.F16, k*n)
+	}
 	t := 0
-	for jj := 0; jj < n; jj += ncBlock {
-		jn := min(n-jj, ncBlock)
-		for pp := 0; pp < k; pp += kcBlock {
-			pk := min(k-pp, kcBlock)
+	for jj := 0; jj < n; jj += pb.nc {
+		jn := min(n-jj, pb.nc)
+		for pp := 0; pp < k; pp += pb.kc {
+			pk := min(k-pp, pb.kc)
 			for p := pp; p < pp+pk; p++ {
 				for j := jj; j < jj+jn; j++ {
 					v := b.Data[p*n+j]
@@ -60,7 +82,6 @@ func PackF16(b *Tensor) *PackedF16 {
 			}
 		}
 	}
-	return pb
 }
 
 // Bytes returns the packed buffer's storage footprint — half of the f64
@@ -74,7 +95,10 @@ func (pb *PackedF16) Bytes() int64 { return int64(len(pb.panels)) * 2 }
 // 16-bit activation write-back of the serving path, fused so it costs no
 // extra trip over the activations.
 //
-// Accumulation is float64 in ascending depth order, so the result is exactly
+// The panel walk uses the blocking captured at pack time, and each decoded
+// panel runs through the same register micro-kernel as gemmBlocked (first
+// depth panel overwrites, later panels continue the chain) — so as long as
+// pack-time kc matches the live config's KC, the result is exactly
 // MatMulInto against the fp16-quantized weights: deterministic, and
 // independent of the batch size m a row is computed under.
 func MatMulPackedF16(m int, a []float64, pb *PackedF16, c []float64, bias []float64, relu bool, out []f16.F16) {
@@ -82,31 +106,17 @@ func MatMulPackedF16(m int, a []float64, pb *PackedF16, c []float64, bias []floa
 	if len(a) < m*k || len(c) < m*n {
 		panic(fmt.Sprintf("tensor: packed matmul m=%d with len(a)=%d len(c)=%d for [%d,%d]", m, len(a), len(c), k, n))
 	}
+	mr := kernelCfg.Load().MR
 	off := 0
-	for jj := 0; jj < n; jj += ncBlock {
-		jn := min(n-jj, ncBlock)
-		for pp := 0; pp < k; pp += kcBlock {
-			pk := min(k-pp, kcBlock)
+	for jj := 0; jj < n; jj += pb.nc {
+		jn := min(n-jj, pb.nc)
+		for pp := 0; pp < k; pp += pb.kc {
+			pk := min(k-pp, pb.kc)
 			// Decode the panel once; all m rows consume the hot f64 tile.
 			tile := getSlab(pk * jn)
 			f16.DecodeSlice(tile.f, pb.panels[off:off+pk*jn])
 			off += pk * jn
-			for i := 0; i < m; i++ {
-				ci := c[i*n+jj : i*n+jj+jn]
-				ai := a[i*k+pp : i*k+pp+pk]
-				if pp == 0 {
-					zeroFloats(ci) // see gemmFused: accumulate over zeros
-				}
-				for p, av := range ai {
-					if av == 0 {
-						continue
-					}
-					bp := tile.f[p*jn : p*jn+jn]
-					for j, bv := range bp {
-						ci[j] += av * bv
-					}
-				}
-			}
+			runPanel(mr, m, pk, jn, a[pp:], k, tile.f, jn, c[jj:], n, pp > 0)
 			tile.put()
 		}
 		// Epilogue on the finished column block: bias, activation, and the

@@ -1,0 +1,29 @@
+package tensor
+
+import "sync/atomic"
+
+// simdAvail records whether the running CPU supports the AVX2+FMA asm
+// kernels (detected once at init on amd64, false elsewhere). simdOn gates
+// dispatch; it defaults to simdAvail and can be flipped at runtime.
+var (
+	simdAvail bool
+	simdOn    atomic.Bool
+)
+
+// SIMDAvailable reports whether the AVX2+FMA kernels exist for this
+// CPU/OS.
+func SIMDAvailable() bool { return simdAvail }
+
+// SIMDEnabled reports whether the GEMM kernels currently dispatch to the
+// AVX2+FMA micro-kernels.
+func SIMDEnabled() bool { return simdOn.Load() }
+
+// SetSIMD enables or disables the AVX2+FMA kernels (no-op enable when the
+// CPU lacks them) and returns the previous setting. Disabling falls back
+// to the portable register-tiled Go kernels.
+//
+// SIMD on/off is the one switch that changes result bits (fused vs
+// separate rounding per term, and the NT dot's fixed 4-lane split); within
+// either setting all determinism contracts hold bit-for-bit. Flip it only
+// between runs that must be comparable.
+func SetSIMD(on bool) bool { return simdOn.Swap(on && simdAvail) }

@@ -205,8 +205,11 @@ type InferStats struct {
 
 // EngineStats is the tensor-kernel section of Stats.
 type EngineStats struct {
-	Kernel  string `json:"kernel"`
-	Threads int    `json:"threads"`
+	Kernel     string `json:"kernel"`
+	Threads    int    `json:"threads"`
+	GemmConfig string `json:"gemm_config"`
+	Autotuned  bool   `json:"autotuned"`
+	SIMD       bool   `json:"simd"`
 }
 
 // JobStats is the jobs section of Stats.
