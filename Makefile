@@ -5,8 +5,9 @@ GO ?= go
 # The trajectory snapshot written by bench-json; bump the index per PR so
 # history accumulates (BENCH_2.json was the first, from the kernel-engine PR;
 # BENCH_5.json added the inference fast path and the fused-epilogue kernels;
-# BENCH_6.json added the replica-pool scaling curve).
-BENCH_JSON ?= BENCH_7.json
+# BENCH_6.json added the replica-pool scaling curve; BENCH_8.json added the
+# grouped MBS-executor grid).
+BENCH_JSON ?= BENCH_8.json
 
 # Pinned staticcheck version for lint (also installed by CI). The lint
 # target degrades gracefully when the binary isn't on PATH so offline

@@ -49,6 +49,13 @@ func TestMain(m *testing.M) {
 	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
 		r := tensor.Autotune()
 		fmt.Printf("gemm-config: config=%s simd=%v autotuned=true\n", r.Config, tensor.SIMDEnabled())
+		// The grouped-executor plan the MBS benchmarks run under (default
+		// grid cell: sub-batch 8, autodetected budget), lifted into the
+		// snapshot like the gemm config above.
+		mdl, _, _, _ := trainStepModel()
+		if plan, err := mdl.PlanMBS([]int{32, 3, 16, 16}, nn.MBSPlanConfig{SubBatch: 8}); err == nil {
+			fmt.Println(plan.MetricsLine())
+		}
 	}
 	os.Exit(m.Run())
 }
@@ -520,6 +527,56 @@ func BenchmarkTrainStepMBS(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m.TrainStepMBS(x, labels, 8, opt)
 		}
+	})
+}
+
+// BenchmarkTrainStepMBSGrouped times the grouped cache-resident MBS
+// executor (nn.PlanMBS + SetMBSPlan) across a sub-batch × cache-budget
+// grid. GEMM engine only — the executor requires reusable buffers.
+// budget=auto plans under the detected cache size (usually one group on a
+// large-L3 host); the byte budgets force multi-group schedules that stash
+// boundary activations and re-forward groups on the backward pass, which
+// is the paper's cache-residency trade. The pipeline cell overlaps the
+// next sub-batch's im2col packing with the current one's compute (only
+// wins on multicore hosts). Gradients are bit-identical to
+// BenchmarkTrainStepMBS/gemm on the same shapes — compare ns/op, B/op and
+// allocs/op directly; the grouped path also drops the per-sub-batch
+// SliceBatch input copies.
+func BenchmarkTrainStepMBSGrouped(b *testing.B) {
+	prev := tensor.SetEngine(tensor.EngineGEMM)
+	defer tensor.SetEngine(prev)
+	budgets := []struct {
+		name  string
+		bytes int64
+	}{{"auto", 0}, {"4MiB", 4 << 20}, {"2MiB", 2 << 20}}
+	run := func(b *testing.B, sub int, budget int64, pipeline bool) {
+		m, x, labels, opt := trainStepModel()
+		plan, err := m.PlanMBS(x.Shape, nn.MBSPlanConfig{SubBatch: sub, BudgetBytes: budget, Pipeline: pipeline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SetMBSPlan(plan); err != nil {
+			b.Fatal(err)
+		}
+		defer m.ClearMBSPlan()
+		m.TrainStepMBS(x, labels, sub, opt) // warm arenas and boundary stash
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.TrainStepMBS(x, labels, sub, opt)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(plan.Groups)), "groups")
+	}
+	for _, sub := range []int{8, 4} {
+		for _, bd := range budgets {
+			b.Run(fmt.Sprintf("sub=%d/budget=%s", sub, bd.name), func(b *testing.B) {
+				run(b, sub, bd.bytes, false)
+			})
+		}
+	}
+	b.Run("sub=8/budget=auto/pipeline", func(b *testing.B) {
+		run(b, 8, 0, true)
 	})
 }
 

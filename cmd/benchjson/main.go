@@ -38,10 +38,23 @@ type Snapshot struct {
 	// GemmConfig/SIMD/Autotuned record the kernel configuration the bench
 	// harness's TestMain autotuned before measuring (the "gemm-config:"
 	// line), so snapshots are comparable only when their configs are.
-	GemmConfig string   `json:"gemm_config,omitempty"`
-	SIMD       *bool    `json:"simd,omitempty"`
-	Autotuned  *bool    `json:"autotuned,omitempty"`
-	Results    []Result `json:"results"`
+	GemmConfig string `json:"gemm_config,omitempty"`
+	SIMD       *bool  `json:"simd,omitempty"`
+	Autotuned  *bool  `json:"autotuned,omitempty"`
+	// MBSPlan records the grouped-executor plan the MBS training benchmarks
+	// ran under (the "mbs-plan:" line TestMain prints).
+	MBSPlan *MBSPlanMeta `json:"mbs_plan,omitempty"`
+	Results []Result     `json:"results"`
+}
+
+// MBSPlanMeta is the parsed "mbs-plan:" metadata line.
+type MBSPlanMeta struct {
+	Groups        int   `json:"groups"`
+	SubBatch      int   `json:"sub_batch"`
+	ArenaBytes    int64 `json:"arena_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+	BoundaryBytes int64 `json:"boundary_bytes"`
+	FullBytes     int64 `json:"full_bytes"`
 }
 
 var (
@@ -49,6 +62,7 @@ var (
 	memPart   = regexp.MustCompile(`(\d+) B/op\s+(\d+) allocs/op`)
 	ctxLine   = regexp.MustCompile(`^(goos|goarch|cpu): (.+)$`)
 	gemmLine  = regexp.MustCompile(`^gemm-config: config=(\S+) simd=(true|false) autotuned=(true|false)$`)
+	mbsLine   = regexp.MustCompile(`^mbs-plan: groups=(\d+) sub=(\d+) arena_bytes=(\d+) budget_bytes=(\d+) boundary_bytes=(\d+) full_bytes=(\d+)$`)
 )
 
 func main() {
@@ -81,6 +95,17 @@ func main() {
 			tuned := m[3] == "true"
 			snap.SIMD = &simd
 			snap.Autotuned = &tuned
+			continue
+		}
+		if m := mbsLine.FindStringSubmatch(line); m != nil {
+			var p MBSPlanMeta
+			p.Groups, _ = strconv.Atoi(m[1])
+			p.SubBatch, _ = strconv.Atoi(m[2])
+			p.ArenaBytes, _ = strconv.ParseInt(m[3], 10, 64)
+			p.BudgetBytes, _ = strconv.ParseInt(m[4], 10, 64)
+			p.BoundaryBytes, _ = strconv.ParseInt(m[5], 10, 64)
+			p.FullBytes, _ = strconv.ParseInt(m[6], 10, 64)
+			snap.MBSPlan = &p
 			continue
 		}
 		m := benchLine.FindStringSubmatch(line)

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/infer"
+	"repro/internal/nn"
 	"repro/internal/service"
 	"repro/internal/tensor"
 )
@@ -61,6 +62,8 @@ func main() {
 		"shed inference requests with 429 + Retry-After when the queue is full (false = block senders)")
 	gemmBlock := flag.String("gemm-block", "",
 		"GEMM blocking KCxNC or KCxNC:MRxNR (empty = startup autotune; KC changes are bit-visible)")
+	mbsBudget := flag.String("mbs-cache-budget", "",
+		"cache budget for the MBS executor plan reported by /v1/stats, e.g. 2MiB (empty = autodetect)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -84,16 +87,25 @@ func main() {
 	} else {
 		log.Printf("mbsd: gemm autotune %s", tensor.Autotune())
 	}
+	var mbsBudgetBytes int64
+	if *mbsBudget != "" {
+		b, err := nn.ParseByteSize(*mbsBudget)
+		if err != nil {
+			log.Fatalf("mbsd: %v", err)
+		}
+		mbsBudgetBytes = b
+	}
 	svc := service.New(service.Config{
-		Workers:       *parallel,
-		CacheMaxBytes: *cacheMB << 20,
-		MaxInFlight:   *maxInFlight,
-		InferModel:    *inferModel,
-		InferMaxBatch: *inferBatch,
-		InferMaxDelay: *inferDelay,
-		InferMinDelay: *inferMinDelay,
-		InferReplicas: *inferReplicas,
-		InferShed:     *inferShed,
+		Workers:        *parallel,
+		CacheMaxBytes:  *cacheMB << 20,
+		MaxInFlight:    *maxInFlight,
+		InferModel:     *inferModel,
+		InferMaxBatch:  *inferBatch,
+		InferMaxDelay:  *inferDelay,
+		InferMinDelay:  *inferMinDelay,
+		InferReplicas:  *inferReplicas,
+		InferShed:      *inferShed,
+		MBSCacheBudget: mbsBudgetBytes,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

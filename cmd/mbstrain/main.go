@@ -10,6 +10,8 @@
 //	mbstrain -epochs 5 -samples 256 -subbatch 4
 //	mbstrain -engine naive   # direct reference kernels (slow oracle)
 //	mbstrain -threads 4      # cap kernel parallelism (0 = GOMAXPROCS)
+//	mbstrain -mbs-exec -mbs-cache-budget 2MiB   # grouped cache-resident executor
+//	mbstrain -mbs-exec -mbs-pipeline            # overlap im2col with compute
 //
 // Reproducibility: training is deterministic given -seed. The gemm engine
 // partitions only independent work across goroutines and reduces weight
@@ -47,6 +49,12 @@ func main() {
 		"GEMM blocking KCxNC or KCxNC:MRxNR (empty = startup autotune; KC changes are bit-visible)")
 	fp16 := flag.Bool("fp16", false,
 		"train with half-precision linear weights (fp32 masters/gradients; GEMM engine only)")
+	mbsExec := flag.Bool("mbs-exec", false,
+		"run MBS on the grouped cache-resident executor (planned arenas; GEMM engine only)")
+	mbsBudget := flag.String("mbs-cache-budget", "",
+		"cache budget for -mbs-exec layer grouping, e.g. 2MiB or 512K (empty = autodetect)")
+	mbsPipeline := flag.Bool("mbs-pipeline", false,
+		"with -mbs-exec, overlap next sub-batch im2col packing with current compute")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -106,9 +114,31 @@ func main() {
 			cfg.FP16 = true
 			fmt.Println("fp16: half-precision linear weights (fp32 masters)")
 		}
+		if *mbsExec {
+			if eng != tensor.EngineGEMM {
+				fmt.Fprintln(os.Stderr, "mbstrain: -mbs-exec requires -engine gemm")
+				os.Exit(2)
+			}
+			cfg.MBSExec = true
+			cfg.MBSPipeline = *mbsPipeline
+			if *mbsBudget != "" {
+				b, err := nn.ParseByteSize(*mbsBudget)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "mbstrain:", err)
+					os.Exit(2)
+				}
+				cfg.MBSBudget = b
+			}
+		}
 		if _, err := experiments.Fig6(ctx, os.Stdout, cfg); err != nil {
-			fmt.Fprintln(os.Stderr, "mbstrain: interrupted")
-			os.Exit(130)
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "mbstrain: interrupted")
+				os.Exit(130)
+			}
+			// A plan that cannot fit (e.g. a single layer over the cache
+			// budget) is a configuration error, not an interrupt.
+			fmt.Fprintln(os.Stderr, "mbstrain:", err)
+			os.Exit(1)
 		}
 		fmt.Println()
 	}

@@ -1,0 +1,626 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// MBS execution planner (Sections 3-4 of the paper, made real in the hot
+// path). The planner walks a compiled model at sub-batch size, computes every
+// layer's activation/im2col/gradient footprint, and partitions the layers
+// into contiguous groups whose training working set fits a cache budget. The
+// grouped executor (mbsexec.go) then serializes sub-batches through each
+// group — not through the whole net — so a group's weights, packed panels and
+// activations stay cache-resident across all sub-batches, and only the
+// group-boundary activations (the paper's DRAM stash) are materialized at
+// full batch size.
+//
+// The same walk doubles as the arena layout: every buffer a layer would
+// otherwise allocate for itself (forward output, im2col packing, xhat, dx,
+// ReLU masks, pool argmax maps) is described by a spec with an install
+// closure, and the executor points the layer's persistent-buffer fields at
+// planned offsets of one shared slab. Liveness is the classification baked
+// into the specs: `retained` buffers are live for a whole group phase
+// (activations the backward re-reads), while each unit's input gradient is
+// transient — dead as soon as the previous unit's backward consumes it — so
+// all of them collapse into two ping-pong slots at the arena tail,
+// alternating by unit parity.
+
+// MBSPlanConfig configures PlanMBS.
+type MBSPlanConfig struct {
+	// SubBatch is the MBS serialization factor (samples per sub-batch).
+	SubBatch int
+	// BudgetBytes is the cache budget a group's working set must fit.
+	// <= 0 autodetects from the CPU cache topology (DetectCacheBudget).
+	BudgetBytes int64
+	// Pipeline enables double-buffered sub-batch pipelining: a packer
+	// goroutine lowers sub-batch b+1's im2col panels into a second scratch
+	// arena while sub-batch b computes.
+	Pipeline bool
+}
+
+// MBSGroup is one planned layer group: units [First, Last] of the model,
+// executed sub-batch-serially with all intra-group buffers in one arena.
+type MBSGroup struct {
+	First, Last int
+	Label       string // "conv1..relu" — first and last unit labels
+	// ArenaBytes is the planned float arena for the group: all retained
+	// buffers plus the two transient ping-pong slots, at full sub-batch size.
+	ArenaBytes int64
+	// AuxBytes covers non-float per-layer state (ReLU masks, argmax maps,
+	// norm statistics) the executor also pre-plans per sub-batch size.
+	AuxBytes int64
+	// WeightBytes counts parameter data + gradient bytes of the group.
+	WeightBytes int64
+	// WorkingSetBytes is what must stay hot while the group runs: arena +
+	// aux + weights + the sub-batch input/output-gradient slices streamed
+	// across the group boundary. This is the number checked against the
+	// budget. (Optimizer momentum is excluded: SGD touches it once per
+	// step, outside every group loop.)
+	WorkingSetBytes int64
+	// InSample/OutSample are the per-sample (batch-stripped) boundary shapes.
+	InSample, OutSample []int
+}
+
+// MBSPlan is a complete grouped-execution schedule for one (model, input
+// shape, sub-batch, budget) combination. Install it with Model.SetMBSPlan.
+type MBSPlan struct {
+	Batch    int
+	SubBatch int
+	Sample   []int // per-sample input shape (input shape minus batch dim)
+
+	BudgetBytes  int64
+	BudgetAuto   bool
+	BudgetSource string // cache level the auto budget came from
+	Pipeline     bool
+
+	Groups []MBSGroup
+
+	// PeakArenaBytes is the largest group arena + aux — the planned
+	// cache-resident activation footprint of the executor. Strictly below
+	// FullFootprintBytes whenever the model has more than two units, because
+	// the per-unit dx buffers of the unplanned path collapse into two
+	// ping-pong slots.
+	PeakArenaBytes int64
+	// BoundaryBytes is the full-batch group-boundary stash (activations
+	// plus the two ping-pong boundary-gradient buffers) — the traffic the
+	// paper deliberately sends to DRAM once per step. Zero for a one-group
+	// plan.
+	BoundaryBytes int64
+	// FullFootprintBytes is the unplanned layer-by-layer path's per-layer
+	// persistent buffers plus its sub-batch input copy, at the same
+	// sub-batch size — the baseline PeakArenaBytes is measured against.
+	FullFootprintBytes int64
+}
+
+// --- per-unit footprint walk -------------------------------------------------
+
+// arenaBuf describes one float buffer of a unit: its element count, optional
+// tensor view shape (nil for raw []float64 buffers such as im2col packings),
+// liveness class, and the closure that points the owning layer's field at a
+// planned arena view.
+type arenaBuf struct {
+	elems    int
+	shape    []int // nil => raw slice buffer
+	retained bool  // false => unit-parity ping-pong slot
+	installT func(*tensor.Tensor)
+	installS func([]float64)
+}
+
+// auxBuf describes non-float per-layer state (masks, argmax maps, norm
+// statistics) with a typed install closure.
+type auxBuf struct {
+	elems     int
+	elemBytes int
+	installB  func([]bool)
+	installI  func([]int)
+	installF  func([]float64)
+}
+
+// unitSpec is the planner's view of one top-level model unit (a Residual
+// counts as a single unit; its branch layers are folded in with every buffer
+// retained, since branch gradients interleave with the merge).
+type unitSpec struct {
+	label    string
+	inShape  []int // including batch dim
+	outShape []int
+	bufs     []arenaBuf
+	aux      []auxBuf
+	weightBytes int64
+	// conv is set when the unit is a plain Conv2D — the pipeline's prepack
+	// target when the unit opens a group. colElems is its im2col length.
+	conv     *Conv2D
+	colElems int
+}
+
+func prodShape(s []int) int {
+	n := 1
+	for _, v := range s {
+		n *= v
+	}
+	return n
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func paramBytes(ps []*Param) int64 {
+	var b int64
+	for _, p := range ps {
+		b += int64(p.Data.Len()+p.Grad.Len()) * 8
+	}
+	return b
+}
+
+func unitLabel(l Layer) string {
+	switch v := l.(type) {
+	case *Conv2D:
+		return strings.TrimSuffix(v.Weight.Name, ".weight")
+	case *Linear:
+		return strings.TrimSuffix(v.Weight.Name, ".weight")
+	case *BatchNorm2D:
+		return strings.TrimSuffix(v.Gamma.Name, ".gamma")
+	case *GroupNorm:
+		return strings.TrimSuffix(v.Gamma.Name, ".gamma")
+	case *ReLU:
+		return "relu"
+	case *MaxPool2:
+		return "maxpool"
+	case *GlobalAvgPool:
+		return "gap"
+	case *Residual:
+		if len(v.Main.Layers) > 0 {
+			return "res[" + unitLabel(v.Main.Layers[0]) + "]"
+		}
+		return "res"
+	default:
+		return fmt.Sprintf("%T", l)
+	}
+}
+
+// walkUnit computes the train-mode buffer specs of one layer for input shape
+// in (batch dim included). retainAll forces every buffer — including the
+// normally transient dx — into the retained class; Residual sets it for its
+// branch layers.
+func walkUnit(l Layer, in []int, retainAll bool) (unitSpec, error) {
+	u := unitSpec{label: unitLabel(l), inShape: append([]int(nil), in...)}
+	n := in[0]
+	retain := func(dflt bool) bool { return retainAll || dflt }
+	need := func(rank int) error {
+		if len(in) != rank {
+			return fmt.Errorf("nn: mbs plan: %s expects rank-%d input, got %v", u.label, rank, in)
+		}
+		return nil
+	}
+
+	switch v := l.(type) {
+	case *Conv2D:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		if in[1] != v.Spec.InC {
+			return u, fmt.Errorf("nn: mbs plan: %s expects %d input channels, got shape %v", u.label, v.Spec.InC, in)
+		}
+		oh, ow := v.Spec.OutDims(in[2], in[3])
+		u.outShape = []int{n, v.Spec.OutC, oh, ow}
+		u.conv = v
+		u.colElems = n * v.Spec.InC * v.Spec.KH * v.Spec.KW * oh * ow
+		c := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { c.out.train = t }},
+			arenaBuf{elems: u.colElems, retained: true,
+				installS: func(s []float64) { c.col = s }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { c.dx = t }},
+		)
+		u.weightBytes = paramBytes(v.Params())
+
+	case *Linear:
+		if err := need(2); err != nil {
+			return u, err
+		}
+		if in[1] != v.In {
+			return u, fmt.Errorf("nn: mbs plan: %s expects %d input features, got shape %v", u.label, v.In, in)
+		}
+		u.outShape = []int{n, v.Out}
+		lin := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { lin.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { lin.dx = t }},
+		)
+		u.weightBytes = paramBytes(v.Params())
+
+	case *ReLU:
+		u.outShape = u.inShape
+		r := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: true,
+				installT: func(t *tensor.Tensor) { r.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { r.dx = t }},
+		)
+		u.aux = append(u.aux, auxBuf{elems: prodShape(in), elemBytes: 1,
+			installB: func(b []bool) { r.mask = b }})
+
+	case *MaxPool2:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		oh := (in[2]-v.K)/v.Stride + 1
+		ow := (in[3]-v.K)/v.Stride + 1
+		u.outShape = []int{n, in[1], oh, ow}
+		p := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { p.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { p.dx = t }},
+		)
+		u.aux = append(u.aux, auxBuf{elems: prodShape(u.outShape), elemBytes: 8,
+			installI: func(a []int) { p.arg = a }})
+
+	case *GlobalAvgPool:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		u.outShape = []int{n, in[1]}
+		p := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { p.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { p.dx = t }},
+		)
+
+	case *BatchNorm2D:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		u.outShape = u.inShape
+		b := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: true,
+				installT: func(t *tensor.Tensor) { b.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: true,
+				installT: func(t *tensor.Tensor) { b.xhat = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { b.dx = t }},
+		)
+		u.aux = append(u.aux,
+			auxBuf{elems: v.C, elemBytes: 8, installF: func(f []float64) { b.mean = f }},
+			auxBuf{elems: v.C, elemBytes: 8, installF: func(f []float64) { b.invStd = f }},
+		)
+		u.weightBytes = paramBytes(v.Params())
+
+	case *GroupNorm:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		u.outShape = u.inShape
+		gn := v
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: true,
+				installT: func(t *tensor.Tensor) { gn.out.train = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: true,
+				installT: func(t *tensor.Tensor) { gn.xhat = t }},
+			arenaBuf{elems: prodShape(in), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { gn.dx = t }},
+		)
+		u.aux = append(u.aux, auxBuf{elems: n * v.Groups, elemBytes: 8,
+			installF: func(f []float64) { gn.invStd = f }})
+		u.weightBytes = paramBytes(v.Params())
+
+	case *Residual:
+		if err := need(4); err != nil {
+			return u, err
+		}
+		r := v
+		walkBranch := func(layers []Layer, from []int) ([]int, error) {
+			cur := from
+			for _, bl := range layers {
+				su, err := walkUnit(bl, cur, true)
+				if err != nil {
+					return nil, err
+				}
+				u.bufs = append(u.bufs, su.bufs...)
+				u.aux = append(u.aux, su.aux...)
+				u.weightBytes += su.weightBytes
+				cur = su.outShape
+			}
+			return cur, nil
+		}
+		mainOut, err := walkBranch(r.Main.Layers, u.inShape)
+		if err != nil {
+			return u, err
+		}
+		scOut := u.inShape
+		if r.Shortcut != nil {
+			if scOut, err = walkBranch(r.Shortcut.Layers, u.inShape); err != nil {
+				return u, err
+			}
+		}
+		if !shapeEq(mainOut, scOut) {
+			return u, fmt.Errorf("nn: mbs plan: %s branch shapes differ: %v vs %v", u.label, mainOut, scOut)
+		}
+		u.outShape = append([]int(nil), mainOut...)
+		// Merge state: the branch sum (the post-ReLU's cached input), the
+		// post-ReLU's own buffers, and the summed input gradient. Everything
+		// except the unit's final dx stays retained — the merged gradient g
+		// must outlive both branch backwards.
+		u.bufs = append(u.bufs,
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { r.sum.train = t }},
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { r.post.out.train = t }},
+			arenaBuf{elems: prodShape(u.outShape), shape: u.outShape, retained: true,
+				installT: func(t *tensor.Tensor) { r.post.dx = t }},
+			arenaBuf{elems: prodShape(u.inShape), shape: u.inShape, retained: retain(false),
+				installT: func(t *tensor.Tensor) { r.dx = t }},
+		)
+		u.aux = append(u.aux, auxBuf{elems: prodShape(u.outShape), elemBytes: 1,
+			installB: func(b []bool) { r.post.mask = b }})
+
+	default:
+		return u, fmt.Errorf("nn: mbs plan: unsupported layer type %T", l)
+	}
+	return u, nil
+}
+
+// mbsUnits walks the whole model at batch size n.
+func (m *Model) mbsUnits(n int, sample []int) ([]unitSpec, error) {
+	if len(m.Net.Layers) == 0 {
+		return nil, fmt.Errorf("nn: mbs plan: empty model")
+	}
+	in := append([]int{n}, sample...)
+	units := make([]unitSpec, 0, len(m.Net.Layers))
+	for _, l := range m.Net.Layers {
+		u, err := walkUnit(l, in, false)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+		in = u.outShape
+	}
+	return units, nil
+}
+
+// measureGroup sums the working set of units [first, last].
+func measureGroup(units []unitSpec, first, last int) MBSGroup {
+	var retained, maxTransient int
+	var aux, wb int64
+	for i := first; i <= last; i++ {
+		for _, b := range units[i].bufs {
+			if b.retained {
+				retained += b.elems
+			} else if b.elems > maxTransient {
+				maxTransient = b.elems
+			}
+		}
+		for _, a := range units[i].aux {
+			aux += int64(a.elems) * int64(a.elemBytes)
+		}
+		wb += units[i].weightBytes
+	}
+	arena := int64(retained+2*maxTransient) * 8
+	inB := int64(prodShape(units[first].inShape)) * 8
+	outB := int64(prodShape(units[last].outShape)) * 8
+	label := units[first].label
+	if last > first {
+		label += ".." + units[last].label
+	}
+	return MBSGroup{
+		First: first, Last: last, Label: label,
+		ArenaBytes: arena, AuxBytes: aux, WeightBytes: wb,
+		// input is read twice per sub-batch (forward phase + backward
+		// recompute), and the boundary gradient streams in while the input
+		// gradient streams out — both input-shaped.
+		WorkingSetBytes: arena + aux + wb + 2*inB + outB,
+		InSample:        append([]int(nil), units[first].inShape[1:]...),
+		OutSample:       append([]int(nil), units[last].outShape[1:]...),
+	}
+}
+
+// PlanMBS builds a grouped MBS execution plan for inputs of shape inShape
+// (batch dim included). Greedy contiguous fill: each group takes as many
+// consecutive units as fit the budget. A single unit over the budget is a
+// hard error — a degenerate silently-thrashing schedule helps nobody.
+func (m *Model) PlanMBS(inShape []int, cfg MBSPlanConfig) (*MBSPlan, error) {
+	if len(inShape) < 2 {
+		return nil, fmt.Errorf("nn: mbs plan: input shape %v needs a batch dim", inShape)
+	}
+	batch := inShape[0]
+	sub := cfg.SubBatch
+	if batch <= 0 || sub <= 0 || sub > batch {
+		return nil, fmt.Errorf("nn: mbs plan: sub-batch %d invalid for batch %d", sub, batch)
+	}
+	budget, auto, source := cfg.BudgetBytes, false, ""
+	if budget <= 0 {
+		budget, source = DetectCacheBudget()
+		auto = true
+	}
+	units, err := m.mbsUnits(sub, inShape[1:])
+	if err != nil {
+		return nil, err
+	}
+
+	var groups []MBSGroup
+	for i := 0; i < len(units); {
+		g := measureGroup(units, i, i)
+		if g.WorkingSetBytes > budget {
+			return nil, fmt.Errorf(
+				"nn: mbs plan: layer %s alone needs %s at sub-batch %d, over the %s cache budget — raise the budget or shrink the sub-batch",
+				units[i].label, humanBytes(g.WorkingSetBytes), sub, humanBytes(budget))
+		}
+		j := i
+		for j+1 < len(units) {
+			c := measureGroup(units, i, j+1)
+			if c.WorkingSetBytes > budget {
+				break
+			}
+			j, g = j+1, c
+		}
+		groups = append(groups, g)
+		i = j + 1
+	}
+
+	p := &MBSPlan{
+		Batch: batch, SubBatch: sub,
+		Sample:      append([]int(nil), inShape[1:]...),
+		BudgetBytes: budget, BudgetAuto: auto, BudgetSource: source,
+		Pipeline: cfg.Pipeline,
+		Groups:   groups,
+	}
+	for _, g := range groups {
+		if a := g.ArenaBytes + g.AuxBytes; a > p.PeakArenaBytes {
+			p.PeakArenaBytes = a
+		}
+	}
+	var maxBound int64
+	for _, g := range groups[:len(groups)-1] {
+		b := int64(prodShape(g.OutSample)) * int64(batch) * 8
+		p.BoundaryBytes += b
+		if b > maxBound {
+			maxBound = b
+		}
+	}
+	if len(groups) > 1 {
+		p.BoundaryBytes += 2 * maxBound // boundary-gradient ping-pong pair
+	}
+	for _, u := range units {
+		for _, b := range u.bufs {
+			p.FullFootprintBytes += int64(b.elems) * 8
+		}
+		for _, a := range u.aux {
+			p.FullFootprintBytes += int64(a.elems) * int64(a.elemBytes)
+		}
+	}
+	p.FullFootprintBytes += int64(prodShape(units[0].inShape)) * 8 // SliceBatch copy
+	return p, nil
+}
+
+// Summary is the one-line human description threaded into mbstrain logs and
+// experiment output.
+func (p *MBSPlan) Summary() string {
+	budget := humanBytes(p.BudgetBytes)
+	if p.BudgetAuto {
+		budget += " auto:" + p.BudgetSource
+	}
+	pipe := ""
+	if p.Pipeline {
+		pipe = ", pipelined"
+	}
+	return fmt.Sprintf("MBS plan: %d group(s), sub-batch %d, peak arena %s of %s budget, boundary stash %s, unplanned footprint %s%s",
+		len(p.Groups), p.SubBatch, humanBytes(p.PeakArenaBytes), budget,
+		humanBytes(p.BoundaryBytes), humanBytes(p.FullFootprintBytes), pipe)
+}
+
+// MetricsLine is the machine-readable form the bench harness prints and
+// benchjson lifts into the BENCH_n.json snapshot.
+func (p *MBSPlan) MetricsLine() string {
+	return fmt.Sprintf("mbs-plan: groups=%d sub=%d arena_bytes=%d budget_bytes=%d boundary_bytes=%d full_bytes=%d",
+		len(p.Groups), p.SubBatch, p.PeakArenaBytes, p.BudgetBytes, p.BoundaryBytes, p.FullFootprintBytes)
+}
+
+// WriteTable prints the per-group plan table (`group i: layers a..b, arena
+// KiB, fits budget`).
+func (p *MBSPlan) WriteTable(w io.Writer) {
+	for i, g := range p.Groups {
+		fmt.Fprintf(w, "group %d: layers %d..%d (%s), arena %s (aux %s, weights %s), working set %s <= budget %s\n",
+			i, g.First, g.Last, g.Label,
+			humanBytes(g.ArenaBytes), humanBytes(g.AuxBytes), humanBytes(g.WeightBytes),
+			humanBytes(g.WorkingSetBytes), humanBytes(p.BudgetBytes))
+	}
+}
+
+// --- cache budget ------------------------------------------------------------
+
+// DetectCacheBudget returns the default MBS cache budget: the largest data or
+// unified cache reported by the CPU topology (typically L3, or L2 when no L3
+// exists), and a short description of where the number came from. Falls back
+// to 32MiB when the topology is unreadable.
+func DetectCacheBudget() (int64, string) {
+	dirs, _ := filepath.Glob("/sys/devices/system/cpu/cpu0/cache/index*")
+	var best int64
+	level := ""
+	for _, d := range dirs {
+		if typ := readSysFile(d + "/type"); typ == "Instruction" {
+			continue
+		}
+		sz, err := ParseByteSize(readSysFile(d + "/size"))
+		if err != nil || sz <= 0 {
+			continue
+		}
+		if sz > best {
+			best = sz
+			level = "L" + readSysFile(d+"/level")
+		}
+	}
+	if best <= 0 {
+		return 32 << 20, "default(no cache topology)"
+	}
+	return best, fmt.Sprintf("%s(%s)", level, humanBytes(best))
+}
+
+func readSysFile(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(b))
+}
+
+// ParseByteSize parses "1048576", "512K", "8MiB", "2GB" etc. into bytes.
+// All suffixes are binary (K = 1024), matching sysfs cache sizes.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	if t == "" {
+		return 0, fmt.Errorf("nn: empty byte size")
+	}
+	t = strings.TrimSuffix(t, "IB")
+	t = strings.TrimSuffix(t, "B")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("nn: bad byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+func humanBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

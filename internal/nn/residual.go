@@ -17,6 +17,11 @@ type Residual struct {
 	Main     *Sequential
 	Shortcut *Sequential // nil = identity
 	post     ReLU
+	// Persistent GEMM-engine buffers: the branch merge and the summed input
+	// gradient land in reused tensors instead of per-call Clones, matching
+	// the zero-steady-state-allocation contract of the leaf layers.
+	sum outBufs
+	dx  *tensor.Tensor
 }
 
 // NewResidual wraps the branches.
@@ -34,15 +39,35 @@ func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !m.SameShape(s) {
 		panic(fmt.Sprintf("nn: residual branch shapes differ: %v vs %v", m.Shape, s.Shape))
 	}
-	sum := m.Clone()
+	var sum *tensor.Tensor
+	if reuseBuffers() {
+		sum = ensureLike(r.sum.sel(train), m)
+		copy(sum.Data, m.Data)
+	} else {
+		sum = m.Clone()
+	}
 	sum.AddInPlace(s)
 	return r.post.Forward(sum, train)
 }
 
 // Backward distributes the merged gradient to both branches and sums their
-// input gradients.
+// input gradients. No layer's Backward mutates the gradient handed to it,
+// so the merged gradient g can feed both branch backwards directly; only
+// the final sum needs its own buffer (dxMain aliases a branch-internal
+// buffer the next unit's backward would otherwise clobber).
 func (r *Residual) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := r.post.Backward(dy)
+	if reuseBuffers() {
+		dxMain := r.Main.Backward(g)
+		dxShort := g
+		if r.Shortcut != nil {
+			dxShort = r.Shortcut.Backward(g)
+		}
+		dx := ensureLike(&r.dx, dxMain)
+		copy(dx.Data, dxMain.Data)
+		dx.AddInPlace(dxShort)
+		return dx
+	}
 	dxMain := r.Main.Backward(g.Clone())
 	dxShort := g
 	if r.Shortcut != nil {

@@ -77,6 +77,7 @@ type Model struct {
 	params   []*Param       // memoized: Sequential.Params allocates per call
 	lossGrad *tensor.Tensor // reused dLogits buffer (GEMM engine)
 	fp16     []*Linear      // layers on the fp16-weight path (see fp16.go)
+	mbs      *mbsExec       // grouped MBS executor (see mbsexec.go), nil = off
 }
 
 // Params returns the model's parameters, memoized — the layer structure is
@@ -134,6 +135,12 @@ func (m *Model) TrainStepMBS(x *tensor.Tensor, labels []int, subBatch int, opt *
 		subBatch = n
 	}
 	m.zeroGrads()
+	if m.mbs.matches(x, subBatch) {
+		loss := m.mbs.accumulate(x, labels)
+		opt.Step(m.Params())
+		m.refreshFP16()
+		return loss
+	}
 	var loss float64
 	for from := 0; from < n; from += subBatch {
 		to := from + subBatch
@@ -169,6 +176,9 @@ func (m *Model) AccumulateGradsFull(x *tensor.Tensor, labels []int) float64 {
 func (m *Model) AccumulateGradsMBS(x *tensor.Tensor, labels []int, subBatch int) float64 {
 	n := x.Shape[0]
 	m.zeroGrads()
+	if m.mbs.matches(x, subBatch) {
+		return m.mbs.accumulate(x, labels)
+	}
 	var loss float64
 	for from := 0; from < n; from += subBatch {
 		to := from + subBatch

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/jobs"
+	"repro/internal/nn"
 	"repro/internal/report"
 	"repro/internal/sweep"
 	"repro/internal/tensor"
@@ -83,6 +85,9 @@ type Config struct {
 	// InferShed enables inference admission control: requests arriving at a
 	// full queue are rejected with 429 + Retry-After instead of blocking.
 	InferShed bool
+	// MBSCacheBudget is the cache budget in bytes for the MBS executor plan
+	// reported under /v1/stats (0 = autodetect from the CPU cache topology).
+	MBSCacheBudget int64
 }
 
 // Server executes registry scenarios on one shared engine.
@@ -97,6 +102,7 @@ type Server struct {
 	served      atomic.Int64
 	failed      atomic.Int64
 	cancelled   atomic.Int64 // v1 runs abandoned by their client
+	mbs         MBSPlanStats // static: planned once at startup
 }
 
 // New builds a server (and its engine, job manager and inference batcher)
@@ -143,7 +149,35 @@ func New(cfg Config) *Server {
 		panic(fmt.Sprintf("service: compile inference model %q: %v", model, err))
 	}
 	s.batcher = b
+	s.mbs = planMBSStats(cfg.MBSCacheBudget)
 	return s
+}
+
+// planMBSStats plans the default Fig. 6 GN model under the given cache
+// budget and returns the stats section. The grouping is static — it depends
+// only on the model shape, sub-batch and budget — so it is computed once at
+// startup. An unsatisfiable budget (a single layer over it) is a deployment
+// misconfiguration and panics, like an unknown inference model.
+func planMBSStats(budget int64) MBSPlanStats {
+	fc := experiments.DefaultFig6Config()
+	m := nn.BuildSmallCNN(rand.New(rand.NewSource(fc.Seed)),
+		fc.Data.Channels, fc.Data.Size, fc.Data.Classes, nn.NormGroup, 8)
+	plan, err := m.PlanMBS(
+		[]int{fc.Batch, fc.Data.Channels, fc.Data.Size, fc.Data.Size},
+		nn.MBSPlanConfig{SubBatch: fc.SubBatch, BudgetBytes: budget})
+	if err != nil {
+		panic(fmt.Sprintf("service: mbs cache budget: %v", err))
+	}
+	return MBSPlanStats{
+		Groups:        len(plan.Groups),
+		SubBatch:      plan.SubBatch,
+		ArenaBytes:    plan.PeakArenaBytes,
+		BudgetBytes:   plan.BudgetBytes,
+		BudgetAuto:    plan.BudgetAuto,
+		BudgetSource:  plan.BudgetSource,
+		BoundaryBytes: plan.BoundaryBytes,
+		FullBytes:     plan.FullFootprintBytes,
+	}
 }
 
 // Engine returns the shared sweep engine (the tests inspect its cache).
@@ -251,10 +285,11 @@ type StatsResponse struct {
 	// Cancelled counts v1 runs abandoned by their client (while queued or
 	// mid-run); v2 job cancellations are under Jobs.Cancellations.
 	Cancelled int64       `json:"cancelled"`
-	Jobs      jobs.Stats  `json:"jobs"`
-	Cache     CacheStats  `json:"cache"`
-	Engine    EngineStats `json:"engine"`
-	Infer     infer.Stats `json:"infer"`
+	Jobs      jobs.Stats   `json:"jobs"`
+	Cache     CacheStats   `json:"cache"`
+	Engine    EngineStats  `json:"engine"`
+	Infer     infer.Stats  `json:"infer"`
+	MBS       MBSPlanStats `json:"mbs_plan"`
 }
 
 // EngineStats reports the active tensor.Engine configuration the inference
@@ -265,6 +300,19 @@ type EngineStats struct {
 	GemmConfig string `json:"gemm_config"` // KCxNC:MRxNR blocking + micro-tile
 	Autotuned  bool   `json:"autotuned"`   // config chosen by tensor.Autotune
 	SIMD       bool   `json:"simd"`        // AVX2+FMA kernels active
+}
+
+// MBSPlanStats reports the MBS executor's layer grouping for the default
+// Fig. 6 GN model under the server's cache budget (see nn.PlanMBS).
+type MBSPlanStats struct {
+	Groups        int    `json:"groups"`
+	SubBatch      int    `json:"sub_batch"`
+	ArenaBytes    int64  `json:"arena_bytes"`    // peak planned arena across groups
+	BudgetBytes   int64  `json:"budget_bytes"`   // per-group working-set cap
+	BudgetAuto    bool   `json:"budget_auto"`    // budget autodetected from CPU caches
+	BudgetSource  string `json:"budget_source,omitempty"`
+	BoundaryBytes int64  `json:"boundary_bytes"` // full-batch stash between groups
+	FullBytes     int64  `json:"full_bytes"`     // unplanned per-layer footprint
 }
 
 // CacheStats is the JSON form of sweep.Stats.
@@ -308,6 +356,7 @@ func (s *Server) Stats() StatsResponse {
 			SIMD:       tensor.SIMDEnabled(),
 		},
 		Infer: s.batcher.Stats(),
+		MBS:   s.mbs,
 		Cache: CacheStats{
 			Hits: st.Hits(), Misses: st.Misses(), Evictions: st.Evictions(),
 			HitRate: st.HitRate(), Bytes: st.Bytes, MaxBytes: st.MaxBytes,

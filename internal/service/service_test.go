@@ -143,6 +143,27 @@ func TestStatsEndpoint(t *testing.T) {
 	if len(st.Cache.Tables) != 3 {
 		t.Errorf("tables = %v", st.Cache.Tables)
 	}
+	if st.MBS.Groups < 1 || st.MBS.SubBatch < 1 || st.MBS.ArenaBytes <= 0 ||
+		st.MBS.BudgetBytes <= 0 || st.MBS.FullBytes <= st.MBS.ArenaBytes {
+		t.Errorf("mbs plan section not populated: %+v", st.MBS)
+	}
+	if !st.MBS.BudgetAuto {
+		t.Errorf("default config should autodetect the MBS budget: %+v", st.MBS)
+	}
+}
+
+// TestStatsMBSBudget exercises the configured-budget path: a tight budget
+// must split the default Fig. 6 model into multiple groups, and the stats
+// section must echo the configured value without marking it auto.
+func TestStatsMBSBudget(t *testing.T) {
+	svc, _ := newTestServer(t, Config{MBSCacheBudget: 2 << 20})
+	st := svc.Stats()
+	if st.MBS.BudgetBytes != 2<<20 || st.MBS.BudgetAuto {
+		t.Errorf("budget not reflected: %+v", st.MBS)
+	}
+	if st.MBS.Groups < 2 {
+		t.Errorf("2MiB budget should split the model, got %+v", st.MBS)
+	}
 }
 
 func TestRunErrors(t *testing.T) {

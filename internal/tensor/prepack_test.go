@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// TestConv2DFromColMatchesFused pins pack-then-consume (Im2ColPack +
+// Conv2DFromColInto — the double-buffered pipeline's split) bit-identical to
+// the single-pass fused call, for both epilogues and across thread counts.
+func TestConv2DFromColMatchesFused(t *testing.T) {
+	defer SetThreads(SetThreads(1))
+	for _, relu := range []bool{false, true} {
+		for _, threads := range []int{1, 3} {
+			SetThreads(threads)
+			x, w, bias, s := fusedConvCase(11)
+			oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+			want := New(x.Shape[0], s.OutC, oh, ow)
+			Conv2DFusedInto(want, x, w, bias, s, relu)
+
+			col := make([]float64, colLen(x.Shape[0], s, oh, ow))
+			Im2ColPack(col, x, s)
+			got := New(want.Shape...)
+			Conv2DFromColInto(got, col, w, bias, s, relu)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("relu=%v threads=%d: prepacked conv not bit-identical at %d (%g vs %g)",
+						relu, threads, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIm2ColPackMatchesRetainedCol pins Im2ColPack's buffer byte-identical
+// to the packing Conv2DFusedColInto retains for the backward pass — the
+// pipeline hands its pre-packed buffer to that same backward.
+func TestIm2ColPackMatchesRetainedCol(t *testing.T) {
+	x, w, bias, s := fusedConvCase(12)
+	oh, ow := s.OutDims(x.Shape[2], x.Shape[3])
+	out := New(x.Shape[0], s.OutC, oh, ow)
+	retained := make([]float64, colLen(x.Shape[0], s, oh, ow))
+	Conv2DFusedColInto(out, x, w, bias, s, false, retained)
+
+	packed := make([]float64, len(retained))
+	Im2ColPack(packed, x, s)
+	for i := range retained {
+		if packed[i] != retained[i] {
+			t.Fatalf("im2col packings differ at %d", i)
+		}
+	}
+}

@@ -212,6 +212,18 @@ type EngineStats struct {
 	SIMD       bool   `json:"simd"`
 }
 
+// MBSPlanStats is the MBS executor-plan section of Stats.
+type MBSPlanStats struct {
+	Groups        int    `json:"groups"`
+	SubBatch      int    `json:"sub_batch"`
+	ArenaBytes    int64  `json:"arena_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes"`
+	BudgetAuto    bool   `json:"budget_auto"`
+	BudgetSource  string `json:"budget_source,omitempty"`
+	BoundaryBytes int64  `json:"boundary_bytes"`
+	FullBytes     int64  `json:"full_bytes"`
+}
+
 // JobStats is the jobs section of Stats.
 type JobStats struct {
 	Submitted     int64            `json:"submitted"`
@@ -241,10 +253,11 @@ type Stats struct {
 	Served      int64       `json:"served"`
 	Failed      int64       `json:"failed"`
 	Cancelled   int64       `json:"cancelled"`
-	Jobs        JobStats    `json:"jobs"`
-	Cache       CacheStats  `json:"cache"`
-	Engine      EngineStats `json:"engine"`
-	Infer       InferStats  `json:"infer"`
+	Jobs        JobStats     `json:"jobs"`
+	Cache       CacheStats   `json:"cache"`
+	Engine      EngineStats  `json:"engine"`
+	Infer       InferStats   `json:"infer"`
+	MBS         MBSPlanStats `json:"mbs_plan"`
 }
 
 // do issues a request and returns the response, converting non-2xx bodies
