@@ -6,8 +6,8 @@ GO ?= go
 # history accumulates (BENCH_2.json was the first, from the kernel-engine PR;
 # BENCH_5.json added the inference fast path and the fused-epilogue kernels;
 # BENCH_6.json added the replica-pool scaling curve; BENCH_8.json added the
-# grouped MBS-executor grid).
-BENCH_JSON ?= BENCH_8.json
+# grouped MBS-executor grid; BENCH_9.json added the event-bus publish cost).
+BENCH_JSON ?= BENCH_9.json
 
 # Pinned staticcheck version for lint (also installed by CI). The lint
 # target degrades gracefully when the binary isn't on PATH so offline
@@ -64,7 +64,7 @@ bench-smoke:
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkTrainStep|BenchmarkInfer(Single|Batched|CNN)' \
 		-benchmem -benchtime 3x . && \
-	  $(GO) test -run '^$$' -bench 'BenchmarkInferReplicas' -benchmem -benchtime 2s . ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkInferReplicas|BenchmarkBusPublish' -benchmem -benchtime 2s . ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_JSON)
 
 # Regenerate the pinned figure/table outputs after an intentional change to
@@ -82,7 +82,9 @@ serve:
 # (submit/stream/cancel) and the batched inference endpoint (concurrent
 # clients with 429 backoff, zero failures, mean served batch size > 1,
 # replica spread, and a deliberate-overload burst where every rejection must
-# be a clean 429) through pkg/client.
+# be a clean 429) through pkg/client. The closing -events pass subscribes to
+# the /v2/events firehose and asserts live job.state/sweep.cell/infer.flush
+# delivery plus exact /metrics histogram accounting.
 load-smoke:
 	@mkdir -p bin
 	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
@@ -93,7 +95,7 @@ load-smoke:
 		bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
 	done; \
 	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64 && \
-	bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 -infer 400 -c 32
+	bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 -infer 400 -c 32 -events
 
 clean:
 	$(GO) clean ./...

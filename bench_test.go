@@ -28,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/infer"
@@ -707,4 +708,45 @@ func BenchmarkInferReplicas(b *testing.B) {
 			b.ReportMetric(st.MeanBatchSize, "mean-batch")
 		})
 	}
+}
+
+// BenchmarkBusPublish measures the event spine's publish cost in its two
+// regimes. Unsubscribed is the one that matters for the serving hot paths:
+// every instrumented subsystem publishes unconditionally, so this must stay
+// at a few nanoseconds (two atomic adds, zero allocations). Subscribed adds
+// the mutex-guarded fan-out into one continuously-draining subscriber plus
+// the replay-ring append. The payload is boxed once up front so the loop
+// times Publish itself, not interface conversion.
+func BenchmarkBusPublish(b *testing.B) {
+	payload := any(bus.HTTPRequest{Method: "POST", Route: "POST /v1/run", Status: 200, DurationMS: 1.5})
+	b.Run("unsubscribed", func(b *testing.B) {
+		eb := bus.New(bus.Config{})
+		defer eb.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eb.Publish(bus.TopicHTTPRequest, payload)
+		}
+	})
+	b.Run("subscribed", func(b *testing.B) {
+		eb := bus.New(bus.Config{})
+		sub, err := eb.Subscribe(bus.SubOptions{Buffer: 4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for range sub.C() {
+			}
+		}()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eb.Publish(bus.TopicHTTPRequest, payload)
+		}
+		b.StopTimer()
+		eb.Close()
+		<-drained
+	})
 }

@@ -21,6 +21,9 @@
 //	curl -X DELETE localhost:8080/v2/jobs/job-1                     # cancel
 //	curl -X POST localhost:8080/v2/infer -d '{"inputs":[[...768 floats...]]}'
 //	                                        # micro-batched model inference
+//	curl localhost:8080/metrics             # Prometheus text exposition
+//	curl -N localhost:8080/v2/events        # live SSE event firehose
+//	curl -N 'localhost:8080/v2/events?topics=job.state,sweep.cell&replay=1'
 //
 // JSON run responses are byte-identical to `mbsim -scenario <name> -json`.
 // SIGINT/SIGTERM trigger a graceful shutdown: live v2 jobs are cancelled,
@@ -64,6 +67,12 @@ func main() {
 		"GEMM blocking KCxNC or KCxNC:MRxNR (empty = startup autotune; KC changes are bit-visible)")
 	mbsBudget := flag.String("mbs-cache-budget", "",
 		"cache budget for the MBS executor plan reported by /v1/stats, e.g. 2MiB (empty = autodetect)")
+	eventRing := flag.Int("event-ring", 0,
+		"retained events for /v2/events replay and Last-Event-ID resume (0 = 256, negative = no retention)")
+	eventHeartbeat := flag.Duration("event-heartbeat", 0,
+		"interval between SSE heartbeat comments on /v2/events (0 = 15s)")
+	eventMaxSubs := flag.Int("event-max-subscribers", 0,
+		"concurrent /v2/events subscribers before 503 (0 = 64)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -106,6 +115,10 @@ func main() {
 		InferReplicas:  *inferReplicas,
 		InferShed:      *inferShed,
 		MBSCacheBudget: mbsBudgetBytes,
+
+		EventRing:           *eventRing,
+		EventHeartbeat:      *eventHeartbeat,
+		EventMaxSubscribers: *eventMaxSubs,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

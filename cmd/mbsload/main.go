@@ -15,8 +15,12 @@
 // replica pool — that sustained load reaches more than one replica. Unless
 // -infer-overload=false it then deliberately overruns the server with a
 // start-gated burst ~4x the pool's absorb capacity and requires every
-// rejection to be a clean 429. `make load-smoke` wires it against a freshly
-// started local mbsd.
+// rejection to be a clean 429. With -events it also smokes the
+// observability surface: subscribe to the /v2/events SSE firehose, drive a
+// known traffic mix, assert every submitted job's terminal state arrives as
+// a job.state event and that the /metrics request-phase histogram counts
+// move by exactly the requests this client sent. `make load-smoke` wires it
+// against a freshly started local mbsd.
 //
 // Usage:
 //
@@ -57,6 +61,8 @@ func main() {
 		"required mean coalesced batch size across the infer smoke's requests")
 	inferOverload := flag.Bool("infer-overload", true,
 		"after the infer smoke, burst ~4x the server's queue+batch capacity and require every rejection to be a clean 429")
+	events := flag.Bool("events", false,
+		"smoke the observability surface: subscribe to /v2/events, drive jobs + runs + inference, assert terminal job.state events arrive and /metrics histogram counts match the client-side request counts")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -141,6 +147,11 @@ func main() {
 			if err := smokeInferOverload(ctx, cl); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	if *events {
+		if err := smokeEvents(ctx, cl); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Println("load-smoke: OK")

@@ -1,0 +1,267 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublishUnsubscribedCountsOnly(t *testing.T) {
+	b := New(Config{})
+	for i := 0; i < 100; i++ {
+		b.Publish(TopicSweepCell, i)
+	}
+	st := b.Stats()
+	if st.Published != 100 {
+		t.Fatalf("published = %d, want 100", st.Published)
+	}
+	if st.Delivered != 0 || st.Dropped != 0 {
+		t.Fatalf("delivered/dropped = %d/%d, want 0/0", st.Delivered, st.Dropped)
+	}
+	if st.Retained != 0 {
+		t.Fatalf("retained = %d, want 0 (ring records only observed events)", st.Retained)
+	}
+	if b.Active() {
+		t.Fatal("Active() = true with no subscribers")
+	}
+}
+
+func TestDeliveryAndTopicFilter(t *testing.T) {
+	b := New(Config{})
+	all, err := b.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := b.Subscribe(SubOptions{Topics: []string{TopicJobState}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(TopicJobState, JobState{ID: "j1", State: "queued"})
+	b.Publish(TopicSweepCell, SweepCell{Index: 0})
+	b.Publish(TopicJobState, JobState{ID: "j1", State: "running"})
+
+	if got := len(all.C()); got != 3 {
+		t.Fatalf("all-topics subscriber queued %d events, want 3", got)
+	}
+	if got := len(jobs.C()); got != 2 {
+		t.Fatalf("job-topic subscriber queued %d events, want 2", got)
+	}
+	ev := <-jobs.C()
+	if ev.Topic != TopicJobState {
+		t.Fatalf("topic = %q, want %q", ev.Topic, TopicJobState)
+	}
+	if js, ok := ev.Data.(JobState); !ok || js.State != "queued" {
+		t.Fatalf("data = %#v, want queued JobState", ev.Data)
+	}
+	all.Close()
+	jobs.Close()
+}
+
+// TestSlowSubscriberDropsNeverBlocks is the core contract: a subscriber that
+// never drains only ever costs itself dropped events; concurrent producers
+// finish promptly and every event is accounted delivered or dropped.
+func TestSlowSubscriberDropsNeverBlocks(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 500
+		buffer    = 16
+	)
+	b := New(Config{Ring: -1})
+	stalled, err := b.Subscribe(SubOptions{Buffer: buffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				b.Publish(TopicSweepCell, SweepCell{Index: p*perProd + i})
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); close(done) }()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producers blocked on a stalled subscriber")
+	}
+
+	st := b.Stats()
+	total := producers * perProd
+	if st.Published != uint64(total) {
+		t.Fatalf("published = %d, want %d", st.Published, total)
+	}
+	if st.Delivered+st.Dropped != uint64(total) {
+		t.Fatalf("delivered(%d) + dropped(%d) != published(%d)", st.Delivered, st.Dropped, total)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("expected drops with buffer %d and %d events", buffer, total)
+	}
+	if stalled.Dropped() != st.Dropped {
+		t.Fatalf("subscription dropped = %d, bus dropped = %d", stalled.Dropped(), st.Dropped)
+	}
+	if got := uint64(len(stalled.C())); got != st.Delivered {
+		t.Fatalf("queued = %d, delivered = %d", got, st.Delivered)
+	}
+	stalled.Close()
+}
+
+func TestReplayCatchUpOrdering(t *testing.T) {
+	b := New(Config{Ring: 8})
+	// Retention requires an observer; keep one attached throughout.
+	keeper, err := b.Subscribe(SubOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer keeper.Close()
+
+	for i := 0; i < 12; i++ {
+		b.Publish(TopicSweepCell, i)
+	}
+
+	// A late subscriber with Replay sees exactly the ring's 8 newest events,
+	// oldest first, strictly before anything live.
+	late, err := b.Subscribe(SubOptions{Replay: true, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(TopicSweepCell, 12) // one live event after subscribing
+
+	var seqs []uint64
+	var vals []int
+	for i := 0; i < 9; i++ {
+		ev := <-late.C()
+		seqs = append(seqs, ev.Seq)
+		vals = append(vals, ev.Data.(int))
+	}
+	for i, v := range vals {
+		if want := 4 + i; v != want {
+			t.Fatalf("event %d payload = %d, want %d (full order %v)", i, v, want, vals)
+		}
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Fatalf("non-contiguous seqs %v", seqs)
+		}
+	}
+
+	// Resume-after: only events with Seq > After replay.
+	resume, err := b.Subscribe(SubOptions{Replay: true, After: seqs[len(seqs)-1] - 2, Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(resume.C()); got != 2 {
+		t.Fatalf("resume replayed %d events, want 2", got)
+	}
+	late.Close()
+	resume.Close()
+}
+
+func TestSubscribeLimitAndCloseFreesSlot(t *testing.T) {
+	b := New(Config{MaxSubscribers: 2})
+	s1, err := b.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := b.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe(SubOptions{}); err == nil {
+		t.Fatal("third Subscribe succeeded past MaxSubscribers=2")
+	}
+	s1.Close()
+	s1.Close() // idempotent
+	s3, err := b.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatalf("Subscribe after Close: %v", err)
+	}
+	if st := b.Stats(); st.Subscribers != 2 {
+		t.Fatalf("subscribers = %d, want 2", st.Subscribers)
+	}
+	s2.Close()
+	s3.Close()
+	if b.Active() {
+		t.Fatal("Active() = true after all subscriptions closed")
+	}
+}
+
+func TestBusCloseClosesChannels(t *testing.T) {
+	b := New(Config{})
+	s, err := b.Subscribe(SubOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(TopicJobState, JobState{ID: "x", State: "queued"})
+	b.Close()
+	b.Close() // idempotent
+	// Queued event still receivable, then the channel reports closed.
+	if _, ok := <-s.C(); !ok {
+		t.Fatal("queued event lost on Close")
+	}
+	if _, ok := <-s.C(); ok {
+		t.Fatal("channel still open after bus Close")
+	}
+	// Publish and Subscribe after close are safe no-ops / errors.
+	b.Publish(TopicJobState, nil)
+	if _, err := b.Subscribe(SubOptions{}); err != ErrClosed {
+		t.Fatalf("Subscribe after Close: err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent with bus-side close
+}
+
+// TestConcurrentPublishSubscribeClose shakes the lock paths under the race
+// detector: publishers, churning subscribers, and a final bus close.
+func TestConcurrentPublishSubscribeClose(t *testing.T) {
+	b := New(Config{Ring: 32, MaxSubscribers: 128})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b.Publish(TopicSweepCache, CacheEvent{Table: "plan", Kind: fmt.Sprint(p, i)})
+			}
+		}(p)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s, err := b.Subscribe(SubOptions{Replay: i%2 == 0, Buffer: 4})
+				if err != nil {
+					continue
+				}
+				// Drain a little, then leave.
+				for j := 0; j < 3; j++ {
+					select {
+					case <-s.C():
+					default:
+					}
+				}
+				s.Close()
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if st.Delivered+st.Dropped > st.Published*128 {
+		t.Fatalf("accounting ran away: %+v", st)
+	}
+}

@@ -59,6 +59,23 @@ type Config struct {
 	// (bounded latency for admitted work, fast 429s for the rest) instead of
 	// queue-collapsing under overload.
 	Shed bool
+	// OnFlush, when non-nil, observes every served batch from the replica's
+	// dispatch goroutine — the batch-size and queue-wait feed for /metrics
+	// and the event bus. It must be cheap and non-blocking. When nil (the
+	// default, and always in benchmarks) requests are not timestamped and
+	// the flush path is unchanged.
+	OnFlush func(FlushInfo)
+}
+
+// FlushInfo describes one served batch to Config.OnFlush.
+type FlushInfo struct {
+	Replica int
+	Size    int
+	// Full reports a max-batch flush (vs a coalesce-deadline expiry).
+	Full bool
+	// Waits is each batched request's queue wait — enqueue to flush start —
+	// in batch order. The slice is only valid for the duration of the call.
+	Waits []time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +120,7 @@ type request struct {
 	ctx   context.Context
 	input []float64
 	out   chan reply
+	enq   time.Time // set only when Config.OnFlush is wired
 }
 
 type reply struct {
@@ -148,6 +166,7 @@ type replica struct {
 
 	xdata []float64
 	views []*tensor.Tensor // per-batch-size input headers
+	waits []time.Duration  // OnFlush scratch, reused across flushes
 
 	batches atomic.Int64
 	items   atomic.Int64
@@ -230,6 +249,9 @@ func (b *Batcher) Infer(ctx context.Context, input []float64) (Result, error) {
 			len(input), b.spec.Name, b.spec.InSize(), b.spec.InShape)}
 	}
 	r := &request{ctx: ctx, input: input, out: make(chan reply, 1)}
+	if b.cfg.OnFlush != nil {
+		r.enq = time.Now()
+	}
 	select {
 	case b.reqs <- r:
 		b.requests.Add(1)
@@ -397,6 +419,10 @@ func (rp *replica) flush(batch []*request, full bool) {
 		x = tensor.FromSlice(rp.xdata[:n*in], append([]int{n}, b.spec.InShape...)...)
 		rp.views[n-1] = x
 	}
+	var flushStart time.Time
+	if b.cfg.OnFlush != nil {
+		flushStart = time.Now() // queue wait ends when the forward pass starts
+	}
 	logits := rp.pred.Forward(x)
 	b.batches.Add(1)
 	b.items.Add(int64(n))
@@ -406,6 +432,13 @@ func (rp *replica) flush(batch []*request, full bool) {
 		b.fullFlushes.Add(1)
 	} else {
 		b.deadlineFlushes.Add(1)
+	}
+	if b.cfg.OnFlush != nil {
+		rp.waits = rp.waits[:0]
+		for _, r := range batch {
+			rp.waits = append(rp.waits, flushStart.Sub(r.enq))
+		}
+		b.cfg.OnFlush(FlushInfo{Replica: rp.id, Size: n, Full: full, Waits: rp.waits})
 	}
 	k := logits.Shape[1]
 	for i, r := range batch {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/bus"
 )
 
 // Request names a scenario run to execute asynchronously.
@@ -54,6 +55,9 @@ type Config struct {
 	// MaxPending bounds jobs that are queued or running; submissions past
 	// the bound are rejected with 503. 0 selects 1024.
 	MaxPending int
+	// Bus, when non-nil, receives one bus.TopicJobState event per lifecycle
+	// transition (queued, running, and the terminal state). Optional.
+	Bus *bus.Bus
 }
 
 // Manager owns the job table and lifecycle.
@@ -72,6 +76,37 @@ type Manager struct {
 	queueDepth    atomic.Int64 // jobs waiting for an execution slot
 	submitted     atomic.Int64
 	cancellations atomic.Int64
+
+	// trans counts lifecycle transitions ever applied, per target state —
+	// unlike Stats.ByState these survive retention eviction, so they are the
+	// monotone series /metrics exports.
+	trans struct {
+		queued, running, done, failed, cancelled atomic.Int64
+	}
+}
+
+// transition records a state change on the counters and, when a bus is
+// wired, publishes it as a job.state event. Safe to call with j.mu held:
+// bus publishes never block and never call back into the job table.
+func (m *Manager) transition(j *job, st api.JobState, cells int, errMsg string) {
+	switch st {
+	case api.JobQueued:
+		m.trans.queued.Add(1)
+	case api.JobRunning:
+		m.trans.running.Add(1)
+	case api.JobDone:
+		m.trans.done.Add(1)
+	case api.JobFailed:
+		m.trans.failed.Add(1)
+	case api.JobCancelled:
+		m.trans.cancelled.Add(1)
+	}
+	if b := m.cfg.Bus; b != nil {
+		b.Publish(bus.TopicJobState, bus.JobState{
+			ID: j.id, Scenario: j.req.Scenario, State: string(st),
+			Cells: cells, Error: errMsg,
+		})
+	}
 }
 
 // NewManager builds a Manager from cfg.
@@ -235,6 +270,7 @@ func (m *Manager) Submit(req Request) (api.JobStatus, error) {
 	m.mu.Unlock()
 
 	m.submitted.Add(1)
+	m.transition(j, api.JobQueued, 0, "")
 	go m.run(ctx, j)
 	return j.status(false), nil
 }
@@ -310,6 +346,7 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	if !j.start() {
 		return // cancelled while queued; Cancel already finalized the state
 	}
+	m.transition(j, api.JobRunning, 0, "")
 	result, err := m.cfg.Exec(ctx, j.req, j.emit)
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err() // executor won a race with cancellation; cancel wins
@@ -340,6 +377,7 @@ func (m *Manager) finish(j *job, result []byte, err error) {
 		j.errMsg = err.Error()
 		j.code = api.CodeRunFailed
 	}
+	m.transition(j, j.state, len(j.cells), j.errMsg)
 	j.broadcastLocked()
 }
 
@@ -377,6 +415,7 @@ func (m *Manager) Cancel(id string) (api.JobStatus, bool) {
 		j.code = api.CodeCancelled
 		j.finished = &now
 		m.cancellations.Add(1)
+		m.transition(j, api.JobCancelled, len(j.cells), j.errMsg)
 		j.broadcastLocked()
 	}
 	st := j.statusLocked(false)
@@ -413,6 +452,9 @@ type Stats struct {
 	Cancellations int64 `json:"cancellations"`
 	// ByState counts the retained jobs per lifecycle state.
 	ByState map[api.JobState]int `json:"by_state"`
+	// Transitions counts lifecycle transitions ever applied per target
+	// state; unlike ByState it is monotone (eviction never decrements it).
+	Transitions map[api.JobState]int64 `json:"transitions"`
 	// Retained is the number of jobs currently held for status queries.
 	Retained int `json:"retained"`
 }
@@ -424,6 +466,13 @@ func (m *Manager) Stats() Stats {
 		QueueDepth:    m.queueDepth.Load(),
 		Cancellations: m.cancellations.Load(),
 		ByState:       make(map[api.JobState]int),
+		Transitions: map[api.JobState]int64{
+			api.JobQueued:    m.trans.queued.Load(),
+			api.JobRunning:   m.trans.running.Load(),
+			api.JobDone:      m.trans.done.Load(),
+			api.JobFailed:    m.trans.failed.Load(),
+			api.JobCancelled: m.trans.cancelled.Load(),
+		},
 	}
 	for _, s := range m.List() {
 		st.ByState[s.State]++

@@ -1,0 +1,358 @@
+// Package metrics is a dependency-free Prometheus-text-format metrics
+// registry: counters, gauges, and fixed-bucket histograms, plus func-backed
+// collectors that read the subsystems' existing atomic counters at scrape
+// time instead of duplicating them. The only output it knows how to produce
+// is the text exposition format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/), rendered
+// deterministically — families sorted by name, series sorted by label
+// values — so scrapes are diffable in tests.
+//
+// Concurrency: Observe/Add/Inc/Set are lock-free (atomics); registration
+// and rendering take a registry lock. Histogram bucket counts and the sum
+// are updated independently, so a concurrent scrape can see a sum that is
+// ahead of or behind the bucket counts by a few observations — the same
+// torn-read window the real Prometheus client library allows.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds metric families and renders them.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one metric name: HELP/TYPE plus its labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	mu     sync.Mutex
+	series []collector // render order fixed at registration order, sorted at render
+}
+
+type collector interface {
+	labels() []labelPair
+	// write emits the series' sample lines (already-escaped label block in lb).
+	write(w io.Writer, name, lb string)
+}
+
+type labelPair struct{ k, v string }
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) familyFor(name, help string, k kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.kind, k))
+	}
+	return f
+}
+
+func (f *family) add(c collector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.series = append(f.series, c)
+}
+
+// pairs converts a variadic "k1","v1","k2","v2",... list.
+func pairs(kv []string) []labelPair {
+	if len(kv)%2 != 0 {
+		panic("metrics: odd label key/value list")
+	}
+	lp := make([]labelPair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		lp = append(lp, labelPair{kv[i], kv[i+1]})
+	}
+	sort.Slice(lp, func(i, j int) bool { return lp[i].k < lp[j].k })
+	return lp
+}
+
+// labelBlock renders {k="v",...} with Prometheus escaping, or "" if empty.
+func labelBlock(lp []labelPair, extra ...labelPair) string {
+	all := append(append([]labelPair{}, lp...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\n\"") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	lp  []labelPair
+	val atomicFloat
+}
+
+// NewCounter registers (or extends) a counter family and returns one series.
+// Labels are a flat "k","v",... list; repeated calls with the same name and
+// different labels create sibling series under one HELP/TYPE header.
+func (r *Registry) NewCounter(name, help string, kv ...string) *Counter {
+	c := &Counter{lp: pairs(kv)}
+	r.familyFor(name, help, kindCounter).add(c)
+	return c
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.val.add(1) }
+
+// Add adds v; negative v panics (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.val.add(v)
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 { return c.val.load() }
+
+func (c *Counter) labels() []labelPair { return c.lp }
+func (c *Counter) write(w io.Writer, name, lb string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, lb, formatFloat(c.val.load()))
+}
+
+// CounterFunc registers a counter series whose value is read at scrape time
+// — for subsystems that already keep their own atomic totals.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, kv ...string) {
+	r.familyFor(name, help, kindCounter).add(&funcSeries{lp: pairs(kv), fn: fn})
+}
+
+// ---- Gauge ----
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	lp  []labelPair
+	val atomic.Uint64 // float64 bits
+}
+
+// NewGauge registers (or extends) a gauge family and returns one series.
+func (r *Registry) NewGauge(name, help string, kv ...string) *Gauge {
+	g := &Gauge{lp: pairs(kv)}
+	r.familyFor(name, help, kindGauge).add(g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.val.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.val.Load()) }
+
+func (g *Gauge) labels() []labelPair { return g.lp }
+func (g *Gauge) write(w io.Writer, name, lb string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, lb, formatFloat(g.Value()))
+}
+
+// GaugeFunc registers a gauge series read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, kv ...string) {
+	r.familyFor(name, help, kindGauge).add(&funcSeries{lp: pairs(kv), fn: fn})
+}
+
+type funcSeries struct {
+	lp []labelPair
+	fn func() float64
+}
+
+func (s *funcSeries) labels() []labelPair { return s.lp }
+func (s *funcSeries) write(w io.Writer, name, lb string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, lb, formatFloat(s.fn()))
+}
+
+// ---- Histogram ----
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are the
+// configured upper bounds; a +Inf bucket is implicit.
+type Histogram struct {
+	lp     []labelPair
+	bounds []float64
+	counts []atomic.Uint64 // one per bound, plus the +Inf bucket at the end
+	sum    atomicFloat
+}
+
+// NewHistogram registers (or extends) a histogram family and returns one
+// series with the given upper bounds (must be sorted ascending, non-empty).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, kv ...string) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not strictly ascending")
+		}
+	}
+	h := &Histogram{
+		lp:     pairs(kv),
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.familyFor(name, help, kindHistogram).add(h)
+	return h
+}
+
+// Observe records one sample. Lock-free: a binary search over the bounds,
+// one atomic add on the chosen bucket, one CAS loop on the sum.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum reads the running sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+func (h *Histogram) labels() []labelPair { return h.lp }
+func (h *Histogram) write(w io.Writer, name, lb string) {
+	// Cumulative bucket lines: le="bound" carries the count of samples <= bound.
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		blb := labelBlock(h.lp, labelPair{"le", formatFloat(bound)})
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, blb, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	blb := labelBlock(h.lp, labelPair{"le", "+Inf"})
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, blb, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lb, formatFloat(h.sum.load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lb, cum)
+}
+
+// atomicFloat is an add-only float64 on CAS over its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+// ---- Rendering ----
+
+// Render renders the whole registry in Prometheus text exposition format.
+func (r *Registry) Render(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	fams := make(map[string]*family, len(r.fams))
+	for n, f := range r.fams {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	for _, n := range names {
+		f := fams[n]
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		f.mu.Lock()
+		series := append([]collector(nil), f.series...)
+		f.mu.Unlock()
+		sort.SliceStable(series, func(i, j int) bool {
+			return lessLabels(series[i].labels(), series[j].labels())
+		})
+		for _, s := range series {
+			s.write(w, f.name, labelBlock(s.labels()))
+		}
+	}
+}
+
+func lessLabels(a, b []labelPair) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].k != b[i].k {
+			return a[i].k < b[i].k
+		}
+		if a[i].v != b[i].v {
+			return a[i].v < b[i].v
+		}
+	}
+	return len(a) < len(b)
+}
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// Handler serves the registry as a text-format scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Render(w)
+	})
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Requests served.", "route", "POST /v1/run", "code", "200")
+	c.Add(3)
+	r.NewCounter("requests_total", "Requests served.", "route", "GET /v1/stats", "code", "200").Inc()
+	g := r.NewGauge("inflight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("queue_depth", "Queued requests.", func() float64 { return 7 })
+	h := r.NewHistogram("latency_seconds", "Request latency.", []float64{0.1, 1}, "route", "POST /v1/run")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	got := render(r)
+	want := `# HELP inflight In-flight requests.
+# TYPE inflight gauge
+inflight 2
+# HELP latency_seconds Request latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{route="POST /v1/run",le="0.1"} 1
+latency_seconds_bucket{route="POST /v1/run",le="1"} 2
+latency_seconds_bucket{route="POST /v1/run",le="+Inf"} 3
+latency_seconds_sum{route="POST /v1/run"} 5.55
+latency_seconds_count{route="POST /v1/run"} 3
+# HELP queue_depth Queued requests.
+# TYPE queue_depth gauge
+queue_depth 7
+# HELP requests_total Requests served.
+# TYPE requests_total counter
+requests_total{code="200",route="GET /v1/stats"} 1
+requests_total{code="200",route="POST /v1/run"} 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "h", []float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	h.Observe(2)
+	h.Observe(2.0001)
+	got := render(r)
+	for _, line := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_count 3`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", h.Count())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("c", "help with \n newline", "k", "a\"b\\c\nd").Inc()
+	got := render(r)
+	if !strings.Contains(got, `# HELP c help with \n newline`) {
+		t.Fatalf("help not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `c{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", got)
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("g", "g").Set(math.Inf(1))
+	if got := render(r); !strings.Contains(got, "g +Inf\n") {
+		t.Fatalf("want +Inf rendering:\n%s", got)
+	}
+}
+
+// TestConcurrentObserveVsScrape hammers a histogram from many goroutines
+// while scraping continuously, then checks exact totals once writers stop.
+// Run under -race this is the "concurrent histogram observe vs scrape"
+// satellite test.
+func TestConcurrentObserveVsScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat", "lat", []float64{0.001, 0.01, 0.1, 1})
+	c := r.NewCounter("n", "n")
+
+	const writers, perWriter = 8, 2000
+	var writeWG, scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	scrapeWG.Add(1)
+	go func() { // scraper
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = render(r)
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func() {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%100) / 250)
+				c.Inc()
+			}
+		}()
+	}
+	writeWG.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := c.Value(); got != writers*perWriter {
+		t.Fatalf("counter = %v, want %d", got, writers*perWriter)
+	}
+	// Final render agrees exactly once quiesced.
+	out := render(r)
+	if !strings.Contains(out, `lat_count 16000`) || !strings.Contains(out, "n 16000") {
+		t.Fatalf("final scrape totals wrong:\n%s", out)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+}
+
+func TestMismatchedKindPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("m", "m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.NewGauge("m", "m")
+}

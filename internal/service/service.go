@@ -48,9 +48,11 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/buildinfo"
+	"repro/internal/bus"
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/jobs"
+	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/report"
 	"repro/internal/sweep"
@@ -88,6 +90,14 @@ type Config struct {
 	// MBSCacheBudget is the cache budget in bytes for the MBS executor plan
 	// reported under /v1/stats (0 = autodetect from the CPU cache topology).
 	MBSCacheBudget int64
+	// EventRing sizes the event bus's replay ring (0 = 256, negative = no
+	// retention); late /v2/events subscribers catch up from it.
+	EventRing int
+	// EventMaxSubscribers bounds concurrent /v2/events connections (0 = 64);
+	// excess subscriptions are rejected with 503.
+	EventMaxSubscribers int
+	// EventHeartbeat is the SSE heartbeat-comment interval (0 = 15s).
+	EventHeartbeat time.Duration
 }
 
 // Server executes registry scenarios on one shared engine.
@@ -103,6 +113,7 @@ type Server struct {
 	failed      atomic.Int64
 	cancelled   atomic.Int64 // v1 runs abandoned by their client
 	mbs         MBSPlanStats // static: planned once at startup
+	obs         *observability
 }
 
 // New builds a server (and its engine, job manager and inference batcher)
@@ -122,12 +133,15 @@ func New(cfg Config) *Server {
 		runner:      experiments.Runner{E: e},
 		sem:         make(chan struct{}, maxInFlight),
 		maxInFlight: maxInFlight,
+		obs:         newObservability(cfg),
 	}
+	e.SetBus(s.obs.bus)
 	s.jobs = jobs.NewManager(jobs.Config{
 		Exec:        s.execJob,
 		Validate:    validateRequest,
 		Slots:       s.sem,
 		MaxRetained: cfg.MaxRetainedJobs,
+		Bus:         s.obs.bus,
 	})
 	model := cfg.InferModel
 	if model == "" {
@@ -144,12 +158,14 @@ func New(cfg Config) *Server {
 		QueueCap: cfg.InferQueueCap,
 		Replicas: cfg.InferReplicas,
 		Shed:     cfg.InferShed,
+		OnFlush:  s.onInferFlush,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("service: compile inference model %q: %v", model, err))
 	}
 	s.batcher = b
 	s.mbs = planMBSStats(cfg.MBSCacheBudget)
+	s.registerCollectors()
 	return s
 }
 
@@ -189,6 +205,12 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // Batcher returns the inference micro-batcher (tests inspect its counters).
 func (s *Server) Batcher() *infer.Batcher { return s.batcher }
 
+// Bus returns the server's event bus (tests subscribe directly).
+func (s *Server) Bus() *bus.Bus { return s.obs.bus }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.obs.reg }
+
 // Close cancels every live job and waits for their executors to return,
 // then stops the inference batcher (queued inferences fail with 503).
 // mbsd calls it before http.Server.Shutdown: cancelling jobs first closes
@@ -198,9 +220,15 @@ func (s *Server) Batcher() *infer.Batcher { return s.batcher }
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.batcher.Close()
+	// Last: closing the bus ends every /v2/events stream (each sees its
+	// channel close and writes a final comment), after the jobs and batcher
+	// shutdowns above have published their terminal events.
+	s.obs.bus.Close()
 }
 
-// Handler returns the service's route table.
+// Handler returns the service's route table, wrapped in the observability
+// middleware (http_requests_total, phase="total" latency, http.request bus
+// events; see instrument).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
@@ -210,12 +238,14 @@ func (s *Server) Handler() http.Handler {
 	s.jobs.Routes(mux)
 	mux.HandleFunc("GET /v2/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /v2/stats", s.handleStats)
+	mux.HandleFunc("GET /v2/events", s.handleEvents)
+	mux.Handle("GET /metrics", s.obs.reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.instrument(mux)
 }
 
 // validateRequest vets a v2 submission synchronously: unknown scenarios are
@@ -403,11 +433,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Bounded in-flight execution: queue for a slot, bail if the client
-	// disconnects while waiting.
+	// disconnects while waiting. The wait is the "queue" phase of the
+	// request's latency decomposition.
+	qStart := time.Now()
 	s.queueWait.Add(1)
 	select {
 	case s.sem <- struct{}{}:
 		s.queueWait.Add(-1)
+		s.obs.runQueue.Observe(time.Since(qStart).Seconds())
 	case <-ctx.Done():
 		s.queueWait.Add(-1)
 		// Counted as cancelled, not failed: an abandoned client is not a
@@ -421,24 +454,33 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	var body bytes.Buffer
 	if req.Format == "text" {
+		// Text rendering is interleaved with execution, so the whole run is
+		// the compute phase and render observes only the final buffer copy.
+		cStart := time.Now()
 		if _, err := sc.Run(ctx, s.runner, experiments.Params(req.Params), &body); err != nil {
 			s.failRun(w, req.Scenario, err)
 			return
 		}
+		s.obs.runCompute.Observe(time.Since(cStart).Seconds())
+		s.obs.runRender.Observe(0)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	} else {
+		cStart := time.Now()
 		data, err := sc.Run(ctx, s.runner, experiments.Params(req.Params), nil)
 		if err != nil {
 			s.failRun(w, req.Scenario, err)
 			return
 		}
+		s.obs.runCompute.Observe(time.Since(cStart).Seconds())
 		// The same renderer mbsim -json uses: responses are byte-identical
 		// to the CLI by construction.
+		rStart := time.Now()
 		if err := report.WriteJSON(&body, sc.JSONValue(data)); err != nil {
 			s.fail(w, api.Errorf(http.StatusInternalServerError, api.CodeInternal,
 				req.Scenario, "%s", err))
 			return
 		}
+		s.obs.runRender.Observe(time.Since(rStart).Seconds())
 		w.Header().Set("Content-Type", "application/json")
 	}
 	s.served.Add(1)

@@ -142,6 +142,17 @@ type memo[K comparable, V any] struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	// hook, when set, observes every counter event ("hit" | "miss" |
+	// "eviction") — the cache's event-bus feed. Atomic so installation by a
+	// long-lived server does not add a lock to the lookup path; nil (the
+	// default, and always for one-shot CLIs) costs one atomic load.
+	hook atomic.Pointer[func(kind string)]
+}
+
+func (mm *memo[K, V]) event(kind string) {
+	if fn := mm.hook.Load(); fn != nil {
+		(*fn)(kind)
+	}
 }
 
 type memoEntry[V any] struct {
@@ -168,8 +179,10 @@ func (mm *memo[K, V]) get(ctx context.Context, b *budget, k K, cost func(V) int6
 	mm.mu.Unlock()
 	if ok {
 		mm.hits.Add(1)
+		mm.event("hit")
 	} else {
 		mm.misses.Add(1)
+		mm.event("miss")
 		go func() {
 			defer close(e.done)
 			e.val, e.err = build()
@@ -192,6 +205,7 @@ func (mm *memo[K, V]) get(ctx context.Context, b *budget, k K, cost func(V) int6
 				}
 				mm.mu.Unlock()
 				mm.evictions.Add(1)
+				mm.event("eviction")
 			}}
 			b.insert(e.node)
 		}()
@@ -233,6 +247,24 @@ type Cache struct {
 // are evicted least-recently-used across all three tables. maxBytes <= 0
 // restores the unbounded default.
 func (c *Cache) SetMaxBytes(maxBytes int64) { c.bud.setMax(maxBytes) }
+
+// SetEventHook installs fn to observe every cache counter event with its
+// table name ("network" | "plan" | "traffic") and kind ("hit" | "miss" |
+// "eviction"). fn must be safe for concurrent use and cheap — it runs on the
+// lookup path (hits/misses) and under the budget lock (evictions). nil
+// uninstalls.
+func (c *Cache) SetEventHook(fn func(table, kind string)) {
+	install := func(table string) *func(kind string) {
+		if fn == nil {
+			return nil
+		}
+		h := func(kind string) { fn(table, kind) }
+		return &h
+	}
+	c.nets.hook.Store(install("network"))
+	c.plans.hook.Store(install("plan"))
+	c.ledgers.hook.Store(install("traffic"))
+}
 
 // Cost estimates. Values are immutable object graphs, so a flat per-element
 // charge is a faithful order-of-magnitude accounting — the bound controls

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bus"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/memsys"
@@ -35,6 +36,10 @@ import (
 type Engine struct {
 	workers int
 	cache   *Cache
+	// evbus, when set, receives sweep.cell and sweep.cache events; cells
+	// counts completed cell simulations either way.
+	evbus atomic.Pointer[bus.Bus]
+	cells atomic.Int64
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects
@@ -51,6 +56,26 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Cache returns the engine's artifact cache.
 func (e *Engine) Cache() *Cache { return e.cache }
+
+// SetBus wires the engine to an event bus: every completed grid cell is
+// published on bus.TopicSweepCell (payload built only when a subscriber is
+// attached) and every cache hit/miss/eviction on bus.TopicSweepCache. nil
+// unwires both.
+func (e *Engine) SetBus(b *bus.Bus) {
+	e.evbus.Store(b)
+	if b == nil {
+		e.cache.SetEventHook(nil)
+		return
+	}
+	e.cache.SetEventHook(func(table, kind string) {
+		if b.Active() {
+			b.Publish(bus.TopicSweepCache, bus.CacheEvent{Table: table, Kind: kind})
+		}
+	})
+}
+
+// CellsCompleted counts grid cells this engine has finished simulating.
+func (e *Engine) CellsCompleted() int64 { return e.cells.Load() }
 
 // Network returns the cached network for name.
 func (e *Engine) Network(ctx context.Context, name string) (*graph.Network, error) {
@@ -278,8 +303,25 @@ func (e *Engine) SimulateGrid(ctx context.Context, cells []Cell) ([]*sim.Result,
 	obs := cellObserver(ctx)
 	return Map(ctx, e, len(cells), func(ctx context.Context, i int) (*sim.Result, error) {
 		r, err := e.Simulate(ctx, cells[i])
-		if err == nil && obs != nil {
-			obs(i, cells[i], RowOf(cells[i], r))
+		if err == nil {
+			e.cells.Add(1)
+			// Build the Row at most once, and only if someone is watching:
+			// the bus publish is skipped entirely (payload included) when no
+			// subscriber is attached, keeping unobserved sweeps at their old
+			// cost.
+			b := e.evbus.Load()
+			busWants := b != nil && b.Active()
+			if obs != nil || busWants {
+				row := RowOf(cells[i], r)
+				if obs != nil {
+					obs(i, cells[i], row)
+				}
+				if busWants {
+					b.Publish(bus.TopicSweepCell, bus.SweepCell{
+						Index: i, Cell: cells[i].String(), Row: row,
+					})
+				}
+			}
 		}
 		return r, err
 	})
