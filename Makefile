@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench-smoke bench-json golden serve load-smoke clean
+.PHONY: all build test race vet lint bench-smoke bench-json golden serve load-smoke crash-smoke race-jobs clean
 
 # The trajectory snapshot written by bench-json; bump the index per PR so
 # history accumulates (BENCH_2.json was the first, from the kernel-engine PR;
@@ -96,6 +96,39 @@ load-smoke:
 	done; \
 	bin/mbsload -url http://127.0.0.1:18080 -n 1000 -c 64 && \
 	bin/mbsload -url http://127.0.0.1:18080 -n 0 -v2-smoke=false -min-hit-rate 0 -infer 400 -c 32 -events
+	@$(MAKE) --no-print-directory crash-smoke
+
+# Kill-9-and-restart durability smoke: start a journal-backed mbsd, submit a
+# full cross-product sweep job split into many small shards, SIGKILL the
+# server mid-run, restart it on the same -store-dir, and require the
+# recovered job to complete byte-identical to a fresh synchronous /v1/run.
+# The interrupted shard's lease dies with the process; recovery re-queues it
+# and the attempt counters record the retry.
+crash-smoke:
+	@mkdir -p bin
+	$(GO) build $(LDFLAGS) -o bin/mbsd ./cmd/mbsd
+	$(GO) build $(LDFLAGS) -o bin/mbsload ./cmd/mbsload
+	@store=$$(mktemp -d); \
+	./bin/mbsd -addr 127.0.0.1:18081 -store-dir $$store -job-shard-cells 8 >/dev/null 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		bin/mbsload -url http://127.0.0.1:18081 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	id=$$(bin/mbsload -url http://127.0.0.1:18081 -submit-sweep -sweep-axes network,config,memory,batch,buffer); \
+	echo "crash-smoke: submitted $$id; SIGKILL mid-run"; \
+	sleep 0.3; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	./bin/mbsd -addr 127.0.0.1:18081 -store-dir $$store -job-shard-cells 8 >/dev/null 2>&1 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$store' EXIT; \
+	for i in $$(seq 1 50); do \
+		bin/mbsload -url http://127.0.0.1:18081 -n 0 -v2-smoke=false -min-hit-rate 0 >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	bin/mbsload -url http://127.0.0.1:18081 -wait-job $$id -sweep-axes network,config,memory,batch,buffer
+
+# Focused race pass over the lease/store concurrency core: the full -race
+# suite takes ~30m (nn training dominates); this subset covers the paths
+# where a data race would corrupt job state, in well under a minute.
+race-jobs:
+	$(GO) test -race -count=1 ./internal/jobs/... ./internal/service ./pkg/client
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //
 //	mbsd                                # serve on :8080, 256 MiB cache bound
 //	mbsd -addr 127.0.0.1:9090 -cache-mb 64 -max-inflight 16
+//	mbsd -store-dir /var/lib/mbsd/jobs  # durable jobs: crash-recoverable, re-queued on restart
 //	mbsd -version
 //
 // API:
@@ -73,6 +74,17 @@ func main() {
 		"interval between SSE heartbeat comments on /v2/events (0 = 15s)")
 	eventMaxSubs := flag.Int("event-max-subscribers", 0,
 		"concurrent /v2/events subscribers before 503 (0 = 64)")
+	storeDir := flag.String("store-dir", "",
+		"directory for the durable job journal; jobs survive restarts and interrupted work is re-queued (empty = in-memory)")
+	workerID := flag.String("worker-id", "",
+		"worker name prefix in shard-lease records; set distinct ids when sharing a -store-dir (empty = \"w\")")
+	jobWorkers := flag.Int("job-workers", 0, "shard-claiming job worker pool size (0 = max-inflight)")
+	jobLease := flag.Duration("job-lease", 0, "shard lease duration before takeover without a heartbeat (0 = 15s)")
+	jobHeartbeat := flag.Duration("job-heartbeat", 0, "shard lease renewal interval (0 = lease/3)")
+	jobMaxAttempts := flag.Int("job-max-attempts", 0,
+		"fail a job whose shard loses its lease this many times (0 = 5, negative = retry forever)")
+	jobShardCells := flag.Int("job-shard-cells", 0,
+		"target sweep cells per job shard (0 = 16, negative = never shard)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -119,7 +131,18 @@ func main() {
 		EventRing:           *eventRing,
 		EventHeartbeat:      *eventHeartbeat,
 		EventMaxSubscribers: *eventMaxSubs,
+
+		StoreDir:       *storeDir,
+		WorkerID:       *workerID,
+		JobWorkers:     *jobWorkers,
+		JobLease:       *jobLease,
+		JobHeartbeat:   *jobHeartbeat,
+		JobMaxAttempts: *jobMaxAttempts,
+		JobShardCells:  *jobShardCells,
 	})
+	if js := svc.Jobs().Stats(); js.Recovered > 0 {
+		log.Printf("mbsd: job store %q recovered %d interrupted job(s); re-queued for execution", js.Store, js.Recovered)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

@@ -22,6 +22,12 @@
 // move by exactly the requests this client sent. `make load-smoke` wires it
 // against a freshly started local mbsd.
 //
+// The -submit-sweep / -wait-job pair is the durability crash smoke
+// (`make crash-smoke`): submit a sweep against a journal-backed server and
+// print only the job id; the harness SIGKILLs the server mid-run, restarts
+// it on the same -store-dir, and the -wait-job half asserts the recovered
+// job completes byte-identical to a fresh synchronous /v1/run.
+//
 // Usage:
 //
 //	mbsload -url http://127.0.0.1:8080 -n 1000 -c 64
@@ -29,6 +35,8 @@
 //	mbsload -n 0                # v2 smoke only
 //	mbsload -n 0 -v2-smoke=false -infer 500 -c 32  # infer smoke only
 //	mbsload -n 0 -v2-smoke=false -min-hit-rate 0   # readiness probe
+//	id=$(mbsload -submit-sweep -sweep-axes config,buffer)   # crash smoke...
+//	mbsload -wait-job $id -sweep-axes config,buffer         # ...after restart
 package main
 
 import (
@@ -63,6 +71,12 @@ func main() {
 		"after the infer smoke, burst ~4x the server's queue+batch capacity and require every rejection to be a clean 429")
 	events := flag.Bool("events", false,
 		"smoke the observability surface: subscribe to /v2/events, drive jobs + runs + inference, assert terminal job.state events arrive and /metrics histogram counts match the client-side request counts")
+	submitSweep := flag.Bool("submit-sweep", false,
+		"crash-smoke half 1: submit a sweep job and print only its id, without waiting — the harness then kills the server mid-run")
+	waitJob := flag.String("wait-job", "",
+		"crash-smoke half 2: wait for this job id (typically on a restarted server), assert it completes byte-identical to /v1/run, and report recovery counters")
+	sweepAxes := flag.String("sweep-axes", "buffer",
+		"sweep axes for -submit-sweep and the -wait-job parity check (must match across the two halves)")
 	version := flag.Bool("version", false, "print build identity and exit")
 	flag.Parse()
 
@@ -73,6 +87,22 @@ func main() {
 
 	ctx := context.Background()
 	cl := client.New(*url)
+
+	if *submitSweep {
+		job, err := cl.Submit(ctx, "sweep", map[string]string{"axes": *sweepAxes})
+		if err != nil {
+			fatal(fmt.Errorf("submit-sweep: %w", err))
+		}
+		fmt.Println(job.ID) // sole stdout output: the harness captures it
+		return
+	}
+	if *waitJob != "" {
+		if err := smokeCrashRecovery(ctx, cl, *waitJob, *sweepAxes); err != nil {
+			fatal(err)
+		}
+		fmt.Println("crash-smoke: OK")
+		return
+	}
 	names := strings.Split(*scenarios, ",")
 
 	var failures atomic.Int64
@@ -470,6 +500,47 @@ func smokeV2(ctx context.Context, cl *client.Client) error {
 	}
 	fmt.Printf("v2: job %s cancelled (cancellations %d -> %d)\n",
 		victim.ID, before.Jobs.Cancellations, after.Jobs.Cancellations)
+	return nil
+}
+
+// smokeCrashRecovery is the second half of the kill-9-and-restart smoke:
+// the harness submitted a sweep with -submit-sweep, SIGKILLed the server
+// mid-run, and restarted it on the same -store-dir. This half requires the
+// restarted server to still know the job (the journal survived the crash),
+// waits for it to finish — recovery re-queues interrupted shards, so the
+// attempt counters may be nonzero — and asserts the assembled result is
+// byte-identical to a fresh synchronous /v1/run for the same request.
+func smokeCrashRecovery(ctx context.Context, cl *client.Client, id, axes string) error {
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("crash-smoke: stats: %w", err)
+	}
+	if stats.Jobs.Store != "journal" {
+		return fmt.Errorf("crash-smoke: server runs store %q; recovery needs -store-dir (journal)", stats.Jobs.Store)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	job, err := cl.Wait(waitCtx, id)
+	if err != nil {
+		return fmt.Errorf("crash-smoke: job %s did not survive the restart: %w", id, err)
+	}
+	if job.State != client.JobDone {
+		return fmt.Errorf("crash-smoke: job %s finished %s (%s), want done", id, job.State, job.Error)
+	}
+	result, err := cl.Result(ctx, id)
+	if err != nil {
+		return fmt.Errorf("crash-smoke: result: %w", err)
+	}
+	syncBytes, err := cl.Run(ctx, client.RunRequest{Scenario: "sweep", Params: map[string]string{"axes": axes}})
+	if err != nil {
+		return fmt.Errorf("crash-smoke: /v1/run for parity: %w", err)
+	}
+	if !bytes.Equal(result, syncBytes) {
+		return fmt.Errorf("crash-smoke: recovered job result differs from /v1/run (%d vs %d bytes)",
+			len(result), len(syncBytes))
+	}
+	fmt.Printf("crash-smoke: job %s done after restart: %d/%d shards, %d attempts, %d requeues, recovered=%d, result matches /v1/run (%d bytes)\n",
+		id, job.ShardsDone, job.Shards, job.Attempts, job.Requeues, stats.Jobs.Recovered, len(result))
 	return nil
 }
 

@@ -124,7 +124,16 @@ type JobStatus struct {
 	Error          string            `json:"error,omitempty"`
 	Code           string            `json:"code,omitempty"` // error code for failed/cancelled jobs
 	CellsCompleted int               `json:"cells_completed"`
-	SubmittedAt    time.Time         `json:"submitted_at"`
+	// Shards is the number of spans the job was split into (1 for an
+	// unsharded job); ShardsDone counts those completed so far.
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shards_done,omitempty"`
+	// Attempts counts shard claims including lease-loss retries; Requeues
+	// counts shards returned to the queue after a lost or expired lease.
+	// Both stay at their field-absent zero on the happy path.
+	Attempts    int       `json:"attempts,omitempty"`
+	Requeues    int       `json:"requeues,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt      *time.Time        `json:"started_at,omitempty"`
 	FinishedAt     *time.Time        `json:"finished_at,omitempty"`
 	// Result is the scenario's rendered JSON — the same bytes POST /v1/run

@@ -48,6 +48,9 @@ const (
 	TopicSweepCache = "sweep.cache"
 	// TopicJobState carries one JobState per v2 job lifecycle transition.
 	TopicJobState = "job.state"
+	// TopicJobLease carries one JobLease per shard-lease movement: claimed
+	// by a worker, lost mid-run, expired by the supervisor, or requeued.
+	TopicJobLease = "job.lease"
 	// TopicInferFlush carries one InferFlush per served inference batch.
 	TopicInferFlush = "infer.flush"
 	// TopicHTTPRequest carries one HTTPRequest per completed API request.
@@ -56,7 +59,7 @@ const (
 
 // Topics returns the sorted catalog of known topics.
 func Topics() []string {
-	t := []string{TopicSweepCell, TopicSweepCache, TopicJobState, TopicInferFlush, TopicHTTPRequest}
+	t := []string{TopicSweepCell, TopicSweepCache, TopicJobState, TopicJobLease, TopicInferFlush, TopicHTTPRequest}
 	sort.Strings(t)
 	return t
 }
@@ -64,7 +67,7 @@ func Topics() []string {
 // Valid reports whether topic is in the catalog.
 func Valid(topic string) bool {
 	switch topic {
-	case TopicSweepCell, TopicSweepCache, TopicJobState, TopicInferFlush, TopicHTTPRequest:
+	case TopicSweepCell, TopicSweepCache, TopicJobState, TopicJobLease, TopicInferFlush, TopicHTTPRequest:
 		return true
 	}
 	return false
@@ -93,6 +96,18 @@ type JobState struct {
 	State    string `json:"state"` // queued | running | done | failed | cancelled
 	Cells    int    `json:"cells,omitempty"`
 	Error    string `json:"error,omitempty"`
+}
+
+// JobLease is the payload of TopicJobLease: one movement of a shard lease.
+// Action is "claimed" (worker started executing), "lost" (holder's
+// heartbeat was rejected), "expired" (supervisor reaped a lapsed lease) or
+// "requeued" (shard returned to pending for another attempt).
+type JobLease struct {
+	JobID   string `json:"job_id"`
+	Shard   int    `json:"shard"`
+	Worker  string `json:"worker,omitempty"`
+	Action  string `json:"action"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // InferFlush is the payload of TopicInferFlush: one served micro-batch.

@@ -40,6 +40,20 @@ var Configs = []Config{Baseline, ArchOpt, IL, MBSFS, MBS1, MBS2}
 // MarshalText renders the configuration name in JSON output.
 func (c Config) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
 
+// UnmarshalText parses a configuration name — the inverse of MarshalText,
+// so values that embed a Config survive a JSON round-trip (the sharded job
+// path re-reads shard results it previously marshalled).
+func (c *Config) UnmarshalText(text []byte) error {
+	name := string(text)
+	for _, cfg := range Configs {
+		if cfg.String() == name {
+			*c = cfg
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown config %q", name)
+}
+
 func (c Config) String() string {
 	switch c {
 	case Baseline:

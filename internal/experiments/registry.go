@@ -401,42 +401,10 @@ func init() {
 				Description: "axes to sweep", Enum: []string{"network", "config", "memory", "batch", "buffer"}}},
 				cellParams("resnet50")...),
 			run: func(ctx context.Context, r Runner, p Params, w io.Writer) (any, error) {
-				cell, err := cellFromParams(p)
+				cells, axes, err := sweepGrid(p)
 				if err != nil {
 					return nil, err
 				}
-				grid := sweep.Grid{
-					Networks: []string{cell.Network},
-					Configs:  []core.Config{cell.Config},
-					Memories: []memsys.DRAM{cell.Memory},
-					Batches:  []int{cell.Batch},
-					Buffers:  []int64{cell.BufferBytes},
-				}
-				// Each swept axis replaces its fixed value with the default range.
-				axes := p.List("axes")
-				for _, axis := range axes {
-					switch axis {
-					case "network":
-						grid.Networks = DeepCNNs
-					case "config":
-						grid.Configs = core.Configs
-					case "memory":
-						grid.Memories = memsys.Memories
-					case "batch":
-						grid.Batches = []int{16, 32, 64}
-					case "buffer":
-						grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
-					default:
-						return nil, paramErrf("sweep", "unknown sweep axis %q (have network, config, memory, batch, buffer)", axis)
-					}
-				}
-				if len(axes) == 0 {
-					return nil, paramErrf("sweep", "sweep needs at least one axis")
-				}
-				if len(grid.Networks) == 1 && grid.Networks[0] == "" {
-					return nil, paramErrf("sweep", "sweep needs a network param or the network axis")
-				}
-				cells := grid.Cells()
 				results, err := r.E.SimulateGrid(ctx, cells)
 				if err != nil {
 					return nil, err
@@ -450,6 +418,65 @@ func init() {
 			},
 		},
 	}
+}
+
+// sweepGrid builds the cell list for resolved sweep params: the fixed cell
+// from the single-cell params, with each swept axis replaced by its default
+// range. Cell order is the deterministic grid order — everything that
+// splits or re-executes sweep work by index ranges depends on it.
+func sweepGrid(p Params) ([]sweep.Cell, []string, error) {
+	cell, err := cellFromParams(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	grid := sweep.Grid{
+		Networks: []string{cell.Network},
+		Configs:  []core.Config{cell.Config},
+		Memories: []memsys.DRAM{cell.Memory},
+		Batches:  []int{cell.Batch},
+		Buffers:  []int64{cell.BufferBytes},
+	}
+	axes := p.List("axes")
+	for _, axis := range axes {
+		switch axis {
+		case "network":
+			grid.Networks = DeepCNNs
+		case "config":
+			grid.Configs = core.Configs
+		case "memory":
+			grid.Memories = memsys.Memories
+		case "batch":
+			grid.Batches = []int{16, 32, 64}
+		case "buffer":
+			grid.Buffers = []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20, 40 << 20}
+		default:
+			return nil, nil, paramErrf("sweep", "unknown sweep axis %q (have network, config, memory, batch, buffer)", axis)
+		}
+	}
+	if len(axes) == 0 {
+		return nil, nil, paramErrf("sweep", "sweep needs at least one axis")
+	}
+	if len(grid.Networks) == 1 && grid.Networks[0] == "" {
+		return nil, nil, paramErrf("sweep", "sweep needs a network param or the network axis")
+	}
+	return grid.Cells(), axes, nil
+}
+
+// SweepCells resolves p against the sweep scenario and returns its cell
+// list in grid order. The async job layer plans shards as index ranges
+// over exactly this slice, and shard executors re-derive it — both sides
+// rely on the order being a pure function of the params.
+func SweepCells(p Params) ([]sweep.Cell, error) {
+	s, ok := Lookup("sweep")
+	if !ok {
+		return nil, fmt.Errorf("sweep scenario not registered")
+	}
+	resolved, err := s.resolve(p)
+	if err != nil {
+		return nil, err
+	}
+	cells, _, err := sweepGrid(resolved)
+	return cells, err
 }
 
 // Scenarios returns the registry in presentation order.

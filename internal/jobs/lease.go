@@ -1,0 +1,345 @@
+package jobs
+
+// Shard execution under leases. Workers claim shards from the store,
+// renew a heartbeat while executing, and write results back; a supervisor
+// reaps leases whose holder stopped heartbeating (crashed worker, hung
+// executor) and returns their shards to the queue with capped exponential
+// backoff. Everything here mutates jobs through finalizeLocked under j.mu,
+// and touches the store either without runtime locks (claims) or after
+// taking j.mu (transitions) — the store never calls back out, so the
+// j.mu → store lock order has no cycles.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/bus"
+	"repro/internal/jobs/store"
+)
+
+// backoff is the requeue gate for a shard on its n-th attempt:
+// RetryBase·2^(n-1), capped at RetryCap.
+func (m *Manager) backoff(attempts int) time.Duration {
+	d := m.cfg.RetryBase
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= m.cfg.RetryCap {
+			return m.cfg.RetryCap
+		}
+	}
+	if d > m.cfg.RetryCap {
+		d = m.cfg.RetryCap
+	}
+	return d
+}
+
+// publishLease emits one job.lease event; action is "claimed", "lost",
+// "requeued" or "expired".
+func (m *Manager) publishLease(sh store.Shard, worker, action string) {
+	if b := m.cfg.Bus; b != nil {
+		b.Publish(bus.TopicJobLease, bus.JobLease{
+			JobID: sh.JobID, Shard: sh.Index, Worker: worker,
+			Action: action, Attempt: sh.Attempts,
+		})
+	}
+}
+
+// workerLoop claims and executes shards until the manager stops. It sleeps
+// on the work channel between claims; Submit, recovery and the supervisor
+// signal it, and a worker that found work re-signals so one nudge wakes the
+// whole pool when the queue holds more than one shard.
+func (m *Manager) workerLoop(name string) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.base.Done():
+			return
+		case <-m.work:
+		}
+		for m.runOneShard(name) {
+		}
+	}
+}
+
+// runOneShard acquires a slot, claims one shard and executes it. It
+// reports whether it did work, so the caller keeps draining the queue.
+func (m *Manager) runOneShard(name string) bool {
+	if m.base.Err() != nil {
+		// Shutting down: a shard released by an aborting sibling must not
+		// be re-claimed here, or the drain loop would spin until Close.
+		return false
+	}
+	if m.cfg.Slots != nil {
+		select {
+		case <-m.base.Done():
+			return false
+		case m.cfg.Slots <- struct{}{}:
+		}
+		defer func() { <-m.cfg.Slots }()
+	}
+	sh, ok, err := m.st.Claim(time.Now(), name, m.cfg.Lease)
+	if err != nil {
+		m.storeErrors.Add(1)
+		return false
+	}
+	if !ok {
+		return false
+	}
+	m.signalWork() // there may be more where that came from
+	m.executeShard(name, sh)
+	return true
+}
+
+// executeShard runs one claimed shard end to end: running transition,
+// heartbeat loop, executor call, then completion / release / failure.
+func (m *Manager) executeShard(name string, sh store.Shard) {
+	j, ok := m.lookup(sh.JobID)
+	if !ok {
+		// Evicted or foreign job (another process's runtime owns it in a
+		// shared durable store, or retention dropped it). Force-release so
+		// the shard is not stuck until lease expiry.
+		if err := m.st.ReleaseShard(time.Now(), sh.JobID, sh.Index, "", time.Now()); err != nil {
+			m.storeErrors.Add(1)
+		}
+		return
+	}
+	m.shardsClaimed.Add(1)
+	m.activeLeases.Add(1)
+	defer m.activeLeases.Add(-1)
+
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Cancelled (or failed) between claim and here: give the shard back;
+		// terminal jobs are never claimed again.
+		j.mu.Unlock()
+		if err := m.st.ReleaseShard(time.Now(), sh.JobID, sh.Index, name, time.Now()); err != nil {
+			m.storeErrors.Add(1)
+		}
+		return
+	}
+	j.attempts++
+	if j.state == api.JobQueued {
+		now := time.Now()
+		if err := m.st.TransitionJob(now, j.id, api.JobRunning, "", "", nil); err != nil {
+			m.storeErrors.Add(1)
+		}
+		j.state = api.JobRunning
+		j.started = &now
+		m.transition(j, api.JobRunning, len(j.cells), "")
+		j.broadcastLocked()
+	}
+	jctx := j.ctx
+	j.mu.Unlock()
+	m.publishLease(sh, name, "claimed")
+
+	// The shard context aborts on job cancel/fail (jctx) or on lease loss.
+	sctx, abort := context.WithCancel(jctx)
+	defer abort()
+	lost := make(chan struct{})
+	hbDone := make(chan struct{})
+	go m.heartbeatLoop(sctx, sh, name, lost, hbDone, abort)
+
+	result, err := m.execOne(sctx, j, sh.Span)
+	abort()
+	<-hbDone
+	if err == nil && jctx.Err() != nil {
+		err = jctx.Err() // late cancel the executor did not observe
+	}
+
+	select {
+	case <-lost:
+		// The store says another holder owns this shard (lease expired and
+		// was reaped, or heartbeats failed). Our result may be stale — drop
+		// it; whoever holds the lease now reruns the span.
+		m.requeueLost(j, sh, name)
+		return
+	default:
+	}
+
+	switch {
+	case err == nil:
+		m.completeShard(j, sh, name, result)
+	case jctx.Err() != nil:
+		m.abandonShard(j, sh, name)
+	default:
+		m.failJob(j, sh, err)
+	}
+}
+
+// heartbeatLoop renews the lease every Heartbeat until the shard context
+// ends. A failed renewal means the lease is gone (reaped after a stall, or
+// the store is failing); it closes lost and aborts the executor.
+func (m *Manager) heartbeatLoop(ctx context.Context, sh store.Shard, name string, lost, done chan struct{}, abort context.CancelFunc) {
+	defer close(done)
+	t := time.NewTicker(m.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := m.st.Heartbeat(time.Now(), sh.JobID, sh.Index, name, m.cfg.Lease); err != nil {
+				m.leasesLost.Add(1)
+				m.publishLease(sh, name, "lost")
+				close(lost)
+				abort()
+				return
+			}
+		}
+	}
+}
+
+// execOne dispatches to the whole-job or shard executor.
+func (m *Manager) execOne(ctx context.Context, j *job, span store.Span) ([]byte, error) {
+	if span.Whole() || m.cfg.ExecShard == nil {
+		return m.cfg.Exec(ctx, j.req, j.emit)
+	}
+	return m.cfg.ExecShard(ctx, j.req, span, j.emit)
+}
+
+// completeShard records a shard result; when it was the job's last shard
+// the job finishes with the assembled result.
+func (m *Manager) completeShard(j *job, sh store.Shard, name string, result []byte) {
+	remaining, err := m.st.CompleteShard(time.Now(), sh.JobID, sh.Index, name, result)
+	if err != nil {
+		// ErrLeaseLost: reaped while we were finishing — same as a lost
+		// heartbeat, the rerun owns the span now. Other errors (fault
+		// injection, disk): the shard stays claimed; the supervisor reaps
+		// the lease once it lapses and the retry self-heals.
+		m.leasesLost.Add(1)
+		m.publishLease(sh, name, "lost")
+		m.storeErrors.Add(1)
+		return
+	}
+	j.mu.Lock()
+	j.shardsDone++
+	j.broadcastLocked()
+	j.mu.Unlock()
+	if remaining == 0 {
+		m.assembleAndFinish(j)
+	}
+}
+
+// assembleAndFinish merges the job's shard results and applies the done
+// transition (or failed, if assembly itself rejects the parts). The
+// transition and the eviction pass run under one m.mu hold, so an observer
+// that sees the job terminal never sees the retention bound exceeded.
+func (m *Manager) assembleAndFinish(j *job) {
+	parts, err := m.st.ShardResults(j.id)
+	var final []byte
+	if err == nil {
+		if len(j.spans) == 1 && j.spans[0].Whole() {
+			final = parts[0]
+		} else {
+			final, err = m.cfg.Assemble(j.req, parts)
+		}
+	}
+	m.mu.Lock()
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while assembling
+		j.mu.Unlock()
+		m.mu.Unlock()
+		return
+	}
+	if err != nil {
+		m.finalizeLocked(j, api.JobFailed, fmt.Sprintf("assembling shard results: %s", err), api.CodeRunFailed, nil)
+	} else {
+		m.finalizeLocked(j, api.JobDone, "", "", final)
+	}
+	j.mu.Unlock()
+	m.evictLocked()
+	m.mu.Unlock()
+}
+
+// requeueLost is the worker-side path of a lost lease: the supervisor (or
+// another process) already owns requeueing the shard, so the worker only
+// drops its stale result. The attempt bookkeeping happened at claim time.
+func (m *Manager) requeueLost(j *job, sh store.Shard, name string) {
+	_ = name
+	j.mu.Lock()
+	j.requeues++
+	j.mu.Unlock()
+}
+
+// abandonShard is the cancel/shutdown path: the executor stopped because
+// the job's context ended. For a cancelled job the terminal transition
+// already happened; nothing to do. For shutdown with a durable store the
+// shard goes back to pending immediately — this is requeue-on-shutdown,
+// the next process claims it with no lease-expiry wait. (With a volatile
+// store Close cancels the job anyway.)
+func (m *Manager) abandonShard(j *job, sh store.Shard, name string) {
+	if j.currentState().Terminal() {
+		return
+	}
+	now := time.Now()
+	if err := m.st.ReleaseShard(now, sh.JobID, sh.Index, name, now); err != nil {
+		m.storeErrors.Add(1)
+		return
+	}
+	m.publishLease(sh, name, "requeued")
+}
+
+// failJob applies a failed transition (executor error) and cancels the
+// job's context so sibling shards stop.
+func (m *Manager) failJob(j *job, sh store.Shard, err error) {
+	_ = sh
+	m.mu.Lock()
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		m.finalizeLocked(j, api.JobFailed, err.Error(), api.CodeRunFailed, nil)
+	}
+	j.mu.Unlock()
+	m.evictLocked()
+	m.mu.Unlock()
+	j.cancel()
+}
+
+// supervise reaps expired leases on the Poll interval. Requeued shards get
+// a backoff gate proportional to their attempt count; a shard past
+// MaxAttempts fails its job instead of looping forever.
+func (m *Manager) supervise() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.Poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.base.Done():
+			return
+		case <-t.C:
+			m.sweepLeases()
+			// Also re-nudge the pool unconditionally: a requeued shard
+			// behind its backoff gate produces no event when the gate
+			// passes, so claim retries are poll-driven.
+			m.signalWork()
+		}
+	}
+}
+
+// sweepLeases expires lapsed leases and accounts the requeues.
+func (m *Manager) sweepLeases() {
+	expired, err := m.st.ExpireLeases(time.Now(), m.backoff)
+	if err != nil {
+		m.storeErrors.Add(1)
+		return
+	}
+	for _, sh := range expired {
+		m.leasesExpired.Add(1)
+		m.requeues.Add(1)
+		m.publishLease(sh, sh.Worker, "expired")
+		if j, ok := m.lookup(sh.JobID); ok {
+			j.mu.Lock()
+			j.requeues++
+			j.mu.Unlock()
+			if m.cfg.MaxAttempts > 0 && sh.Attempts >= m.cfg.MaxAttempts {
+				m.failJob(j, sh, fmt.Errorf(
+					"shard %d failed %d attempts (lease expired); giving up",
+					sh.Index, sh.Attempts))
+			}
+		}
+	}
+	if len(expired) > 0 {
+		m.signalWork()
+	}
+}

@@ -1,0 +1,296 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// backends enumerates every Store implementation under test. "journal" runs
+// each case against a fresh directory; "journal-reopened" additionally
+// closes and reopens the store between the mutation phase and the assertion
+// phase of cases that opt in via reopen() — proving the log round-trips.
+func backends(t *testing.T) map[string]func(t *testing.T) Store {
+	return map[string]func(t *testing.T) Store{
+		"memory": func(t *testing.T) Store { return NewMemory() },
+		"journal": func(t *testing.T) Store {
+			j, err := OpenJournal(t.TempDir())
+			if err != nil {
+				t.Fatalf("open journal: %v", err)
+			}
+			t.Cleanup(func() { j.Close() })
+			return j
+		},
+	}
+}
+
+// forEachBackend runs fn once per backend.
+func forEachBackend(t *testing.T, fn func(t *testing.T, s Store)) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) { fn(t, mk(t)) })
+	}
+}
+
+func mkJob(id string, shards int) (Job, []Shard) {
+	j := Job{
+		ID:          id,
+		Scenario:    "sweep",
+		Params:      map[string]string{"axes": "buffer"},
+		State:       api.JobQueued,
+		SubmittedAt: time.Unix(1700000000, 0).UTC(),
+	}
+	shs := make([]Shard, shards)
+	for i := range shs {
+		shs[i] = Shard{Span: Span{Lo: i * 4, Hi: (i + 1) * 4}}
+	}
+	return j, shs
+}
+
+func TestStoreSubmitGetList(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		for i := 1; i <= 3; i++ {
+			j, shs := mkJob(fmt.Sprintf("job-%d", i), 2)
+			if err := s.Submit(j, shs); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+		}
+		j, shs, ok, err := s.Get("job-2")
+		if err != nil || !ok {
+			t.Fatalf("get: ok=%v err=%v", ok, err)
+		}
+		if j.Scenario != "sweep" || j.State != api.JobQueued || j.Shards != 2 {
+			t.Fatalf("job round-trip mismatch: %+v", j)
+		}
+		if j.Params["axes"] != "buffer" {
+			t.Fatalf("params lost: %+v", j.Params)
+		}
+		if len(shs) != 2 || shs[1].Span != (Span{Lo: 4, Hi: 8}) || shs[1].State != ShardPending {
+			t.Fatalf("shards round-trip mismatch: %+v", shs)
+		}
+		if shs[1].JobID != "job-2" || shs[1].Index != 1 {
+			t.Fatalf("shard identity not normalized: %+v", shs[1])
+		}
+		list, err := s.List()
+		if err != nil {
+			t.Fatalf("list: %v", err)
+		}
+		if len(list) != 3 || list[0].ID != "job-1" || list[2].ID != "job-3" {
+			t.Fatalf("list order wrong: %+v", list)
+		}
+		dup, dupShs := mkJob("job-2", 1)
+		if err := s.Submit(dup, dupShs); !errors.Is(err, ErrExists) {
+			t.Fatalf("duplicate submit: got %v, want ErrExists", err)
+		}
+	})
+}
+
+func TestStoreClaimOrderAndLease(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 2)
+		j2, shs2 := mkJob("job-2", 1)
+		must(t, s.Submit(j1, shs1))
+		must(t, s.Submit(j2, shs2))
+
+		// Claims drain job-1's shards in index order before touching job-2.
+		want := []struct {
+			id  string
+			idx int
+		}{{"job-1", 0}, {"job-1", 1}, {"job-2", 0}}
+		for i, w := range want {
+			sh, ok, err := s.Claim(now, "w1", time.Minute)
+			if err != nil || !ok {
+				t.Fatalf("claim %d: ok=%v err=%v", i, ok, err)
+			}
+			if sh.JobID != w.id || sh.Index != w.idx {
+				t.Fatalf("claim %d: got %s/%d, want %s/%d", i, sh.JobID, sh.Index, w.id, w.idx)
+			}
+			if sh.Attempts != 1 || sh.Worker != "w1" || !sh.LeaseUntil.Equal(now.Add(time.Minute)) {
+				t.Fatalf("claim %d lease fields: %+v", i, sh)
+			}
+		}
+		if _, ok, err := s.Claim(now, "w1", time.Minute); ok || err != nil {
+			t.Fatalf("claim on empty queue: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+func TestStoreClaimSkipsTerminalAndGated(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 1)
+		j2, shs2 := mkJob("job-2", 1)
+		must(t, s.Submit(j1, shs1))
+		must(t, s.Submit(j2, shs2))
+		must(t, s.TransitionJob(now, "job-1", api.JobCancelled, "cancelled", "cancelled", nil))
+
+		sh, ok, err := s.Claim(now, "w1", time.Minute)
+		if err != nil || !ok || sh.JobID != "job-2" {
+			t.Fatalf("claim skipped terminal wrong: %+v ok=%v err=%v", sh, ok, err)
+		}
+		// Release with a future gate; the shard is invisible until then.
+		must(t, s.ReleaseShard(now, "job-2", 0, "w1", now.Add(10*time.Second)))
+		if _, ok, _ := s.Claim(now.Add(5*time.Second), "w1", time.Minute); ok {
+			t.Fatal("claimed a backoff-gated shard")
+		}
+		sh, ok, err = s.Claim(now.Add(10*time.Second), "w2", time.Minute)
+		if err != nil || !ok || sh.Attempts != 2 || sh.Worker != "w2" {
+			t.Fatalf("re-claim after gate: %+v ok=%v err=%v", sh, ok, err)
+		}
+	})
+}
+
+func TestStoreHeartbeatContract(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 1)
+		must(t, s.Submit(j1, shs1))
+		if err := s.Heartbeat(now, "job-1", 0, "w1", time.Minute); !errors.Is(err, ErrLeaseLost) {
+			t.Fatalf("heartbeat unclaimed: got %v, want ErrLeaseLost", err)
+		}
+		if _, ok, err := s.Claim(now, "w1", time.Minute); !ok || err != nil {
+			t.Fatalf("claim: ok=%v err=%v", ok, err)
+		}
+		if _, ok, _ := s.Claim(now, "w1", time.Minute); ok {
+			t.Fatal("double claim of a single shard")
+		}
+		if err := s.Heartbeat(now, "job-1", 0, "w2", time.Minute); !errors.Is(err, ErrLeaseLost) {
+			t.Fatalf("heartbeat wrong worker: got %v, want ErrLeaseLost", err)
+		}
+		// A renewed lease survives an expiry sweep the original would not.
+		must(t, s.Heartbeat(now.Add(50*time.Second), "job-1", 0, "w1", time.Minute))
+		requeued, err := s.ExpireLeases(now.Add(70*time.Second), nil)
+		if err != nil || len(requeued) != 0 {
+			t.Fatalf("expiry after renewal: requeued=%v err=%v", requeued, err)
+		}
+		requeued, err = s.ExpireLeases(now.Add(2*time.Hour), nil)
+		if err != nil || len(requeued) != 1 {
+			t.Fatalf("expiry after lapse: requeued=%v err=%v", requeued, err)
+		}
+		if err := s.Heartbeat(now, "job-1", 0, "w1", time.Minute); !errors.Is(err, ErrLeaseLost) {
+			t.Fatalf("heartbeat after expiry: got %v, want ErrLeaseLost", err)
+		}
+	})
+}
+
+func TestStoreExpireLeasesBackoff(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 1)
+		must(t, s.Submit(j1, shs1))
+		if _, ok, _ := s.Claim(now, "w1", time.Second); !ok {
+			t.Fatal("claim failed")
+		}
+		backoff := func(attempts int) time.Duration { return time.Duration(attempts) * 10 * time.Second }
+		requeued, err := s.ExpireLeases(now.Add(2*time.Second), backoff)
+		if err != nil || len(requeued) != 1 {
+			t.Fatalf("expire: %v %v", requeued, err)
+		}
+		if requeued[0].State != ShardPending || requeued[0].Attempts != 1 {
+			t.Fatalf("requeued shard state: %+v", requeued[0])
+		}
+		wantGate := now.Add(2 * time.Second).Add(10 * time.Second)
+		if !requeued[0].NotBefore.Equal(wantGate) {
+			t.Fatalf("backoff gate: got %v, want %v", requeued[0].NotBefore, wantGate)
+		}
+		// Terminal jobs' claimed shards are never requeued. Claim while
+		// job-1 is still backoff-gated so the claim lands on job-2.
+		j2, shs2 := mkJob("job-2", 1)
+		must(t, s.Submit(j2, shs2))
+		preGate := now.Add(3 * time.Second)
+		if sh, ok, _ := s.Claim(preGate, "w1", time.Second); !ok || sh.JobID != "job-2" {
+			t.Fatalf("claim 2: ok=%v sh=%+v", ok, sh)
+		}
+		must(t, s.TransitionJob(preGate, "job-2", api.JobFailed, "x", "run_failed", nil))
+		requeued, err = s.ExpireLeases(wantGate.Add(time.Hour), nil)
+		// job-1's shard is claimable again but unclaimed (pending), so only
+		// nothing should be requeued: job-2 is terminal.
+		if err != nil || len(requeued) != 0 {
+			t.Fatalf("expire over terminal job: %v %v", requeued, err)
+		}
+	})
+}
+
+func TestStoreCompleteShardsAndResult(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 2)
+		must(t, s.Submit(j1, shs1))
+		a, _, _ := s.Claim(now, "w1", time.Minute)
+		b, _, _ := s.Claim(now, "w2", time.Minute)
+
+		if _, err := s.CompleteShard(now, a.JobID, a.Index, "w2", []byte("x")); !errors.Is(err, ErrLeaseLost) {
+			t.Fatalf("complete by wrong worker: got %v, want ErrLeaseLost", err)
+		}
+		rem, err := s.CompleteShard(now, a.JobID, a.Index, "w1", []byte(`["a"]`))
+		if err != nil || rem != 1 {
+			t.Fatalf("complete a: rem=%d err=%v", rem, err)
+		}
+		rem, err = s.CompleteShard(now, b.JobID, b.Index, "w2", []byte(`["b"]`))
+		if err != nil || rem != 0 {
+			t.Fatalf("complete b: rem=%d err=%v", rem, err)
+		}
+		parts, err := s.ShardResults("job-1")
+		if err != nil || len(parts) != 2 || string(parts[0]) != `["a"]` || string(parts[1]) != `["b"]` {
+			t.Fatalf("shard results: %q err=%v", parts, err)
+		}
+		must(t, s.TransitionJob(now, "job-1", api.JobDone, "", "", []byte(`{"sweep":[]}`)))
+		res, err := s.Result("job-1")
+		if err != nil || string(res) != `{"sweep":[]}` {
+			t.Fatalf("result: %q err=%v", res, err)
+		}
+		j, shs, _, _ := s.Get("job-1")
+		if j.State != api.JobDone || shs[0].State != ShardDone || shs[0].Worker != "" {
+			t.Fatalf("post-done state: %+v %+v", j, shs)
+		}
+	})
+}
+
+func TestStoreTransitionTerminalImmutable(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 1)
+		must(t, s.Submit(j1, shs1))
+		must(t, s.TransitionJob(now, "job-1", api.JobCancelled, "cancelled", "cancelled", nil))
+		err := s.TransitionJob(now, "job-1", api.JobDone, "", "", []byte("x"))
+		if !errors.Is(err, ErrTerminal) {
+			t.Fatalf("transition of terminal job: got %v, want ErrTerminal", err)
+		}
+		if err := s.TransitionJob(now, "nope", api.JobDone, "", "", nil); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("transition of unknown job: got %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func TestStoreDelete(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s Store) {
+		now := time.Unix(1700000000, 0).UTC()
+		j1, shs1 := mkJob("job-1", 1)
+		must(t, s.Submit(j1, shs1))
+		if err := s.Delete("job-1"); !errors.Is(err, ErrNotTerminal) {
+			t.Fatalf("delete live job: got %v, want ErrNotTerminal", err)
+		}
+		must(t, s.TransitionJob(now, "job-1", api.JobDone, "", "", []byte("r")))
+		must(t, s.Delete("job-1"))
+		if _, _, ok, _ := s.Get("job-1"); ok {
+			t.Fatal("job still present after delete")
+		}
+		list, _ := s.List()
+		if len(list) != 0 {
+			t.Fatalf("list after delete: %+v", list)
+		}
+		if err := s.Delete("job-1"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double delete: got %v, want ErrNotFound", err)
+		}
+	})
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// reopen closes j and opens the same directory again, failing the test on
+// either error — the crash-recovery primitive of this file.
+func reopen(t *testing.T, j *Journal) *Journal {
+	t.Helper()
+	dir := j.dir
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { j2.Close() })
+	return j2
+}
+
+func TestJournalReopenRoundTrip(t *testing.T) {
+	j, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1700000000, 0).UTC()
+
+	// One job in every interesting position: done with a final result,
+	// mid-flight with one shard done and one claimed, queued untouched.
+	jd, sd := mkJob("job-1", 1)
+	must(t, j.Submit(jd, sd))
+	if _, ok, _ := j.Claim(now, "w1", time.Minute); !ok {
+		t.Fatal("claim")
+	}
+	if _, err := j.CompleteShard(now, "job-1", 0, "w1", []byte(`["p1"]`)); err != nil {
+		t.Fatal(err)
+	}
+	must(t, j.TransitionJob(now, "job-1", api.JobDone, "", "", []byte(`{"done":1}`)))
+
+	jm, sm := mkJob("job-2", 2)
+	must(t, j.Submit(jm, sm))
+	if _, ok, _ := j.Claim(now, "w1", time.Minute); !ok {
+		t.Fatal("claim 2")
+	}
+	if _, err := j.CompleteShard(now, "job-2", 0, "w1", []byte(`["p2"]`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := j.Claim(now, "w2", time.Minute); !ok {
+		t.Fatal("claim 3")
+	}
+	must(t, j.TransitionJob(now, "job-2", api.JobRunning, "", "", nil))
+
+	jq, sq := mkJob("job-3", 1)
+	must(t, j.Submit(jq, sq))
+
+	j2 := reopen(t, j)
+	list, _ := j2.List()
+	if len(list) != 3 {
+		t.Fatalf("recovered %d jobs, want 3: %+v", len(list), list)
+	}
+	res, err := j2.Result("job-1")
+	if err != nil || string(res) != `{"done":1}` {
+		t.Fatalf("final result: %q err=%v", res, err)
+	}
+	jb, shs, ok, _ := j2.Get("job-2")
+	if !ok || jb.State != api.JobRunning {
+		t.Fatalf("job-2 state: %+v", jb)
+	}
+	if shs[0].State != ShardDone || shs[1].State != ShardClaimed || shs[1].Worker != "w2" || shs[1].Attempts != 1 {
+		t.Fatalf("job-2 shards: %+v", shs)
+	}
+	parts, _ := j2.ShardResults("job-2")
+	if string(parts[0]) != `["p2"]` || parts[1] != nil {
+		t.Fatalf("job-2 parts: %q", parts)
+	}
+	if jb, _, _, _ := j2.Get("job-3"); jb.State != api.JobQueued {
+		t.Fatalf("job-3 state: %+v", jb)
+	}
+
+	// A second reopen (snapshot-only path: the log was compacted away)
+	// must recover identically.
+	j3 := reopen(t, j2)
+	jb, shs, _, _ = j3.Get("job-2")
+	if jb.State != api.JobRunning || shs[1].State != ShardClaimed {
+		t.Fatalf("second reopen drifted: %+v %+v", jb, shs)
+	}
+}
+
+func TestJournalCompactionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, shs := mkJob("job-1", 1)
+	must(t, j.Submit(jb, shs))
+	if fi, err := os.Stat(filepath.Join(dir, journalName)); err != nil || fi.Size() == 0 {
+		t.Fatalf("journal should hold the submit record: %v size=%d", err, fi.Size())
+	}
+	j2 := reopen(t, j)
+	if fi, err := os.Stat(filepath.Join(dir, journalName)); err != nil || fi.Size() != 0 {
+		t.Fatalf("open must compact the log away: err=%v size=%d", err, fi.Size())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot missing after compaction: %v", err)
+	}
+	if _, _, ok, _ := j2.Get("job-1"); !ok {
+		t.Fatal("job lost in compaction")
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, s1 := mkJob("job-1", 1)
+	must(t, j.Submit(j1, s1))
+	j2, s2 := mkJob("job-2", 1)
+	must(t, j.Submit(j2, s2))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a dangling half-frame after the good
+	// records.
+	f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 'h', 'a', 'l', 'f'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jr, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	defer jr.Close()
+	list, _ := jr.List()
+	if len(list) != 2 {
+		t.Fatalf("recovered %d jobs, want 2 (torn tail dropped)", len(list))
+	}
+}
+
+func TestJournalChecksumCorruptionDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, s1 := mkJob("job-1", 1)
+	must(t, j.Submit(j1, s1))
+	off, _ := j.f.Seek(0, os.SEEK_CUR) // end of record 1
+	j2, s2 := mkJob("job-2", 1)
+	must(t, j.Submit(j2, s2))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record; its CRC must reject it.
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off+headerSize+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jr, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatalf("open over corrupt record: %v", err)
+	}
+	defer jr.Close()
+	list, _ := jr.List()
+	if len(list) != 1 || list[0].ID != "job-1" {
+		t.Fatalf("recovered %+v, want only job-1", list)
+	}
+}
+
+func TestJournalBreakNextAppendLeavesStoreConsistent(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, s1 := mkJob("job-1", 1)
+	must(t, j.Submit(j1, s1))
+	j.BreakNextAppend()
+	j2, s2 := mkJob("job-2", 1)
+	if err := j.Submit(j2, s2); err == nil {
+		t.Fatal("submit over torn append should fail")
+	}
+	// The failed op must not have mutated memory...
+	if list, _ := j.List(); len(list) != 1 {
+		t.Fatalf("torn submit leaked into state: %+v", list)
+	}
+	// ...and the tear was rolled back to a clean frame boundary, so the
+	// store keeps working and later records stay recoverable.
+	j3, s3 := mkJob("job-3", 1)
+	must(t, j.Submit(j3, s3))
+	jr := reopen(t, j)
+	list, _ := jr.List()
+	if len(list) != 2 || list[0].ID != "job-1" || list[1].ID != "job-3" {
+		t.Fatalf("recovered %+v, want job-1 and job-3", list)
+	}
+}
+
+func TestJournalFaultWrapperRules(t *testing.T) {
+	inner, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inner.Close() })
+	injected := errors.New("injected")
+	f := NewFault(inner,
+		Rule{Op: OpSubmit, N: 2, Err: injected},
+		Rule{Op: OpClaim, N: 1, Stall: 10 * time.Millisecond},
+	)
+	now := time.Unix(1700000000, 0).UTC()
+	j1, s1 := mkJob("job-1", 1)
+	must(t, f.Submit(j1, s1))
+	j2, s2 := mkJob("job-2", 1)
+	if err := f.Submit(j2, s2); !errors.Is(err, injected) {
+		t.Fatalf("second submit: got %v, want injected", err)
+	}
+	j3, s3 := mkJob("job-3", 1)
+	must(t, f.Submit(j3, s3)) // N=2 rule fires once
+	start := time.Now()
+	if _, ok, err := f.Claim(now, "w1", time.Minute); !ok || err != nil {
+		t.Fatalf("claim through stall: ok=%v err=%v", ok, err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("stall rule did not stall: %v", d)
+	}
+	if f.Calls(OpSubmit) != 3 || f.Calls(OpClaim) != 1 {
+		t.Fatalf("op counts: submit=%d claim=%d", f.Calls(OpSubmit), f.Calls(OpClaim))
+	}
+
+	// A Torn rule tears the journal frame through the AppendBreaker hook:
+	// the op fails, memory stays consistent.
+	f.Add(Rule{Op: OpTransition, N: 1, Torn: true})
+	if err := f.TransitionJob(now, "job-1", api.JobDone, "", "", []byte("r")); err == nil {
+		t.Fatal("torn transition should fail")
+	}
+	if jb, _, _, _ := f.Get("job-1"); jb.State.Terminal() {
+		t.Fatalf("torn transition mutated state: %+v", jb)
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/api"
+)
+
+// Memory is the volatile backend: the shared state machine under one mutex,
+// nothing else. It is the default store — the manager behaves exactly as it
+// did before durability existed (shutdown cancels live jobs; nothing
+// survives restart).
+type Memory struct {
+	mu sync.Mutex
+	st *state
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{st: newState()}
+}
+
+func (m *Memory) Submit(j Job, shards []Shard) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.submit(j, shards)
+	if err != nil {
+		return err
+	}
+	m.st.apply(rec)
+	return nil
+}
+
+func (m *Memory) Claim(now time.Time, worker string, lease time.Duration) (Shard, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.st.claim(now, worker, lease)
+	if !ok {
+		return Shard{}, false, nil
+	}
+	m.st.apply(rec)
+	return *m.st.shard(rec.ID, rec.Index), true, nil
+}
+
+func (m *Memory) Heartbeat(now time.Time, jobID string, index int, worker string, lease time.Duration) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.heartbeat(now, jobID, index, worker, lease)
+	if err != nil {
+		return err
+	}
+	m.st.apply(rec)
+	return nil
+}
+
+func (m *Memory) CompleteShard(now time.Time, jobID string, index int, worker string, result []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.completeShard(jobID, index, worker, result)
+	if err != nil {
+		return 0, err
+	}
+	m.st.apply(rec)
+	return m.st.remaining(jobID), nil
+}
+
+func (m *Memory) ReleaseShard(now time.Time, jobID string, index int, worker string, notBefore time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.releaseShard(jobID, index, worker, notBefore)
+	if err != nil {
+		return err
+	}
+	m.st.apply(rec)
+	return nil
+}
+
+func (m *Memory) ExpireLeases(now time.Time, backoff func(attempts int) time.Duration) ([]Shard, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Shard
+	for _, sh := range m.st.expired(now) {
+		nb := now
+		if backoff != nil {
+			nb = now.Add(backoff(sh.Attempts))
+		}
+		rec, err := m.st.releaseShard(sh.JobID, sh.Index, "", nb)
+		if err != nil {
+			continue // lost a race with a concurrent release; nothing to requeue
+		}
+		m.st.apply(rec)
+		out = append(out, *sh)
+	}
+	return out, nil
+}
+
+func (m *Memory) TransitionJob(now time.Time, jobID string, state api.JobState, errMsg, code string, result []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.transitionJob(jobID, state, errMsg, code, result)
+	if err != nil {
+		return err
+	}
+	m.st.apply(rec)
+	return nil
+}
+
+func (m *Memory) ShardResults(jobID string) ([][]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.shardResults(jobID)
+}
+
+func (m *Memory) Result(jobID string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.result(jobID)
+}
+
+func (m *Memory) Get(jobID string) (Job, []Shard, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, shs, ok := m.st.get(jobID)
+	return j, shs, ok, nil
+}
+
+func (m *Memory) List() ([]Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.st.list(), nil
+}
+
+func (m *Memory) Delete(jobID string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, err := m.st.deleteJob(jobID)
+	if err != nil {
+		return err
+	}
+	m.st.apply(rec)
+	return nil
+}
+
+func (m *Memory) Name() string  { return "memory" }
+func (m *Memory) Durable() bool { return false }
+func (m *Memory) Close() error  { return nil }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bus"
 	"repro/internal/infer"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/sweep"
 )
@@ -156,6 +157,25 @@ func (s *Server) registerCollectors() {
 	}
 	r.GaugeFunc("jobs_queue_depth", "Jobs waiting for an execution slot.",
 		func() float64 { return float64(s.jobs.Stats().QueueDepth) })
+
+	// Durable execution: shard-lease and recovery accounting.
+	jobStat := func(pick func(jobs.Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(s.jobs.Stats())) }
+	}
+	r.CounterFunc("jobs_shards_claimed_total", "Shard leases granted to this process, including retries.",
+		jobStat(func(st jobs.Stats) int64 { return st.ShardsClaimed }))
+	r.CounterFunc("jobs_leases_expired_total", "Shard leases reaped after lapsing without a heartbeat.",
+		jobStat(func(st jobs.Stats) int64 { return st.LeasesExpired }))
+	r.CounterFunc("jobs_leases_lost_total", "Shard leases abandoned mid-run after a rejected heartbeat.",
+		jobStat(func(st jobs.Stats) int64 { return st.LeasesLost }))
+	r.CounterFunc("jobs_requeues_total", "Shards returned to the queue for another attempt.",
+		jobStat(func(st jobs.Stats) int64 { return st.Requeues }))
+	r.CounterFunc("jobs_recovered_total", "Non-terminal jobs re-queued from the store at startup.",
+		jobStat(func(st jobs.Stats) int64 { return st.Recovered }))
+	r.CounterFunc("jobs_store_errors_total", "Job store operations that failed.",
+		jobStat(func(st jobs.Stats) int64 { return st.StoreErrors }))
+	r.GaugeFunc("jobs_active_leases", "Shards this process is executing right now.",
+		jobStat(func(st jobs.Stats) int64 { return st.ActiveLeases }))
 
 	// Inference batcher counters (real distributions come from OnFlush into
 	// infer_batch_size / infer_queue_wait_seconds).

@@ -52,6 +52,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/infer"
 	"repro/internal/jobs"
+	"repro/internal/jobs/store"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/report"
@@ -98,6 +99,30 @@ type Config struct {
 	EventMaxSubscribers int
 	// EventHeartbeat is the SSE heartbeat-comment interval (0 = 15s).
 	EventHeartbeat time.Duration
+
+	// StoreDir, when non-empty, roots a durable journal-backed job store
+	// there: submissions, shard claims and results survive a crash, and a
+	// restarted server re-queues interrupted jobs. "" keeps the in-memory
+	// store (jobs die with the process, as before).
+	StoreDir string
+	// WorkerID names this process in shard-lease records; distinct ids let
+	// several processes share one StoreDir ("" = "w").
+	WorkerID string
+	// JobWorkers sizes the shard-claiming worker pool (0 = MaxInFlight).
+	JobWorkers int
+	// JobLease is how long a claimed shard survives without a heartbeat
+	// before another worker may take it over (0 = the jobs default, 15s).
+	JobLease time.Duration
+	// JobHeartbeat is the lease renewal interval (0 = JobLease/3).
+	JobHeartbeat time.Duration
+	// JobMaxAttempts fails a job whose shard keeps losing its lease after
+	// this many claims (0 = 5, negative = retry forever).
+	JobMaxAttempts int
+	// JobShardCells is the target cells-per-shard when splitting sweep jobs
+	// into independently claimed lease units (0 = 16, negative = never
+	// shard). Sweeps at or under one shard's worth of cells run unsharded —
+	// identical to the pre-sharding behaviour.
+	JobShardCells int
 }
 
 // Server executes registry scenarios on one shared engine.
@@ -108,6 +133,7 @@ type Server struct {
 	batcher     *infer.Batcher
 	sem         chan struct{}
 	maxInFlight int
+	shardCells  int
 	queueWait   atomic.Int64 // v1 requests waiting for a slot
 	served      atomic.Int64
 	failed      atomic.Int64
@@ -128,20 +154,42 @@ func New(cfg Config) *Server {
 	if maxInFlight <= 0 {
 		maxInFlight = 2 * runtime.GOMAXPROCS(0)
 	}
+	shardCells := cfg.JobShardCells
+	if shardCells == 0 {
+		shardCells = 16
+	}
 	s := &Server{
 		engine:      e,
 		runner:      experiments.Runner{E: e},
 		sem:         make(chan struct{}, maxInFlight),
 		maxInFlight: maxInFlight,
+		shardCells:  shardCells,
 		obs:         newObservability(cfg),
 	}
 	e.SetBus(s.obs.bus)
+	var jobStore store.Store
+	if cfg.StoreDir != "" {
+		j, err := store.OpenJournal(cfg.StoreDir)
+		if err != nil {
+			panic(fmt.Sprintf("service: open job store %s: %v", cfg.StoreDir, err))
+		}
+		jobStore = j
+	}
 	s.jobs = jobs.NewManager(jobs.Config{
 		Exec:        s.execJob,
 		Validate:    validateRequest,
 		Slots:       s.sem,
 		MaxRetained: cfg.MaxRetainedJobs,
 		Bus:         s.obs.bus,
+		Store:       jobStore,
+		Plan:        s.planJob,
+		ExecShard:   s.execShard,
+		Assemble:    s.assembleJob,
+		Workers:     cfg.JobWorkers,
+		WorkerID:    cfg.WorkerID,
+		Lease:       cfg.JobLease,
+		Heartbeat:   cfg.JobHeartbeat,
+		MaxAttempts: cfg.JobMaxAttempts,
 	})
 	model := cfg.InferModel
 	if model == "" {
@@ -280,6 +328,78 @@ func (s *Server) execJob(ctx context.Context, req jobs.Request, emit func(int, s
 	}
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf, sc.JSONValue(data)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// planJob splits a sweep submission into contiguous cell-range shards of
+// ~shardCells cells each — independent lease units a worker pool (or a
+// restarted process) claims separately. Non-sweep scenarios and sweeps at
+// or under one shard's worth stay unsharded: a nil plan means one
+// whole-job shard executed by execJob, byte-identical to the v1 path.
+func (s *Server) planJob(req jobs.Request) []store.Span {
+	if s.shardCells <= 0 || req.Scenario != "sweep" {
+		return nil
+	}
+	cells, err := experiments.SweepCells(experiments.Params(req.Params))
+	if err != nil || len(cells) <= s.shardCells {
+		return nil // bad params fail at validation, not planning
+	}
+	var spans []store.Span
+	for lo := 0; lo < len(cells); lo += s.shardCells {
+		hi := lo + s.shardCells
+		if hi > len(cells) {
+			hi = len(cells)
+		}
+		spans = append(spans, store.Span{Lo: lo, Hi: hi})
+	}
+	return spans
+}
+
+// execShard runs one planned shard: the sweep cells in span, re-derived
+// from the params (cell order is a pure function of them, so a shard
+// re-executed after a crash or lost lease computes the same cells). Cells
+// are emitted at their job-global indices; the shard result is the rows
+// JSON the assembler concatenates.
+func (s *Server) execShard(ctx context.Context, req jobs.Request, span store.Span, emit func(int, string, any)) ([]byte, error) {
+	cells, err := experiments.SweepCells(experiments.Params(req.Params))
+	if err != nil {
+		return nil, err
+	}
+	if span.Lo < 0 || span.Hi > len(cells) || span.Lo >= span.Hi {
+		return nil, fmt.Errorf("shard span [%d,%d) out of range for %d cells", span.Lo, span.Hi, len(cells))
+	}
+	sub := cells[span.Lo:span.Hi]
+	ctx = sweep.WithCellObserver(ctx, func(i int, cell sweep.Cell, row sweep.Row) {
+		emit(span.Lo+i, cell.String(), row)
+	})
+	results, err := s.engine.SimulateGrid(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sweep.Rows(sub, results))
+}
+
+// assembleJob merges shard results (in shard = cell order) into the final
+// job result: the typed rows concatenate and render through the same
+// JSONValue + WriteJSON pipeline as /v1/run, so a sharded sweep's result
+// is byte-identical to the unsharded one.
+func (s *Server) assembleJob(req jobs.Request, parts [][]byte) ([]byte, error) {
+	sc, ok := experiments.Lookup(req.Scenario)
+	if !ok {
+		return nil, unknownScenario(req.Scenario)
+	}
+	var all []sweep.Row
+	for i, part := range parts {
+		var rows []sweep.Row
+		if err := json.Unmarshal(part, &rows); err != nil {
+			return nil, fmt.Errorf("shard %d result: %w", i, err)
+		}
+		all = append(all, rows...)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, sc.JSONValue(all)); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil

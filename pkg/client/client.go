@@ -26,6 +26,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
@@ -42,16 +44,40 @@ type Client struct {
 type Option func(*Client)
 
 // WithHTTPClient substitutes the underlying *http.Client (the default has
-// no timeout: per-call contexts bound each request, and job streams are
+// transport-level dial/TLS/response-header timeouts but no overall request
+// timeout: per-call contexts bound each request, and job streams are
 // long-lived by design).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// defaultHTTPClient bounds the phases of a request that can hang on a dead
+// peer — connecting, the TLS handshake, waiting for response headers —
+// without bounding the request as a whole: Client.Timeout would sever job
+// streams and SSE firehoses mid-flight, and a sweep can legitimately run
+// for minutes before its response body completes. Response headers arrive
+// immediately even on streaming endpoints, so the header timeout only
+// fires on a genuinely wedged server.
+func defaultHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			Proxy: http.ProxyFromEnvironment,
+			DialContext: (&net.Dialer{
+				Timeout:   10 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			TLSHandshakeTimeout:   10 * time.Second,
+			ResponseHeaderTimeout: 5 * time.Minute,
+			IdleConnTimeout:       90 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		},
+	}
+}
+
 // New returns a client for the mbsd instance at base, e.g.
 // "http://127.0.0.1:8080".
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: defaultHTTPClient()}
 	for _, o := range opts {
 		o(c)
 	}
@@ -150,6 +176,10 @@ type Job struct {
 	Error          string            `json:"error,omitempty"`
 	Code           string            `json:"code,omitempty"`
 	CellsCompleted int               `json:"cells_completed"`
+	Shards         int               `json:"shards,omitempty"`
+	ShardsDone     int               `json:"shards_done,omitempty"`
+	Attempts       int               `json:"attempts,omitempty"`
+	Requeues       int               `json:"requeues,omitempty"`
 	SubmittedAt    time.Time         `json:"submitted_at"`
 	StartedAt      *time.Time        `json:"started_at,omitempty"`
 	FinishedAt     *time.Time        `json:"finished_at,omitempty"`
@@ -226,11 +256,21 @@ type MBSPlanStats struct {
 
 // JobStats is the jobs section of Stats.
 type JobStats struct {
-	Submitted     int64            `json:"submitted"`
-	QueueDepth    int64            `json:"queue_depth"`
-	Cancellations int64            `json:"cancellations"`
-	ByState       map[JobState]int `json:"by_state"`
-	Retained      int              `json:"retained"`
+	Submitted     int64              `json:"submitted"`
+	QueueDepth    int64              `json:"queue_depth"`
+	Cancellations int64              `json:"cancellations"`
+	ByState       map[JobState]int   `json:"by_state"`
+	Transitions   map[JobState]int64 `json:"transitions"`
+	Retained      int                `json:"retained"`
+	Store         string             `json:"store"`
+	Workers       int                `json:"workers"`
+	ShardsClaimed int64              `json:"shards_claimed"`
+	LeasesExpired int64              `json:"leases_expired"`
+	LeasesLost    int64              `json:"leases_lost"`
+	Requeues      int64              `json:"requeues"`
+	Recovered     int64              `json:"recovered"`
+	StoreErrors   int64              `json:"store_errors"`
+	ActiveLeases  int64              `json:"active_leases"`
 }
 
 // CacheStats is the engine-cache section of Stats.
@@ -460,13 +500,37 @@ func (s *Stream) Next() (*Event, error) {
 // Close releases the stream's connection.
 func (s *Stream) Close() error { return s.body.Close() }
 
+// Poll pacing for Wait's fallback loop: start fast enough that short jobs
+// return promptly, double with jitter so a fleet of waiters desynchronizes,
+// and cap near a second so long sweeps don't hammer the status endpoint.
+const (
+	waitPollBase = 25 * time.Millisecond
+	waitPollCap  = time.Second
+)
+
+// waitBackoff returns the sleep before the next status poll and the next
+// base delay. A server Retry-After hint (from a 429) overrides the schedule
+// without advancing it; otherwise the delay is the current base ±25%.
+func waitBackoff(delay, retryAfter time.Duration) (sleep, next time.Duration) {
+	if retryAfter > 0 {
+		return retryAfter, delay
+	}
+	sleep = delay + time.Duration(rand.Int63n(int64(delay)/2+1)) - delay/4
+	next = delay * 2
+	if next > waitPollCap {
+		next = waitPollCap
+	}
+	return sleep, next
+}
+
 // Wait follows a job's stream until it reaches a terminal state, then
 // returns the final status (with result). If the stream ends without a done
 // event — a proxy dropped it, the server restarted the connection — Wait
-// falls back to polling. Should the job be evicted from retention between
-// its done event and the follow-up status fetch, Wait returns the terminal
-// status the stream delivered (without the result) rather than a 404 for a
-// job it just watched finish.
+// falls back to polling with jittered exponential backoff (capped at ~1s),
+// honoring any Retry-After hint the server sheds a poll with. Should the
+// job be evicted from retention between its done event and the follow-up
+// status fetch, Wait returns the terminal status the stream delivered
+// (without the result) rather than a 404 for a job it just watched finish.
 func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 	st, err := c.Stream(ctx, id)
 	if err == nil {
@@ -486,18 +550,28 @@ func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
 			}
 		}
 	}
+	delay := waitPollBase
 	for {
 		job, err := c.Job(ctx, id)
-		if err != nil {
+		var retryAfter time.Duration
+		switch {
+		case err == nil && job.State.Terminal():
+			return job, nil
+		case Overloaded(err):
+			// Shed polls are pacing feedback, not failure: honor the
+			// server's hint and keep waiting.
+			var ae *APIError
+			errors.As(err, &ae)
+			retryAfter = ae.RetryAfter
+		case err != nil:
 			return nil, err
 		}
-		if job.State.Terminal() {
-			return job, nil
-		}
+		var sleep time.Duration
+		sleep, delay = waitBackoff(delay, retryAfter)
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(50 * time.Millisecond):
+		case <-time.After(sleep):
 		}
 	}
 }

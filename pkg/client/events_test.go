@@ -8,10 +8,12 @@ import (
 )
 
 // readJobStates reads job.state events for id off the stream until a
-// terminal state arrives, returning the decoded sequence.
-func readJobStates(t *testing.T, st *EventStream, id string) []*JobStateEvent {
+// terminal state arrives, returning the decoded sequence and each event's
+// bus seq.
+func readJobStates(t *testing.T, st *EventStream, id string) ([]*JobStateEvent, []uint64) {
 	t.Helper()
 	var states []*JobStateEvent
+	var seqs []uint64
 	for {
 		ev, err := st.Next()
 		if err != nil {
@@ -32,8 +34,9 @@ func readJobStates(t *testing.T, st *EventStream, id string) []*JobStateEvent {
 			continue
 		}
 		states = append(states, js)
+		seqs = append(seqs, ev.Seq)
 		if js.State == "done" || js.State == "failed" || js.State == "cancelled" {
-			return states
+			return states, seqs
 		}
 	}
 }
@@ -53,7 +56,7 @@ func TestEventsJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	states := readJobStates(t, st, job.ID)
+	states, seqs := readJobStates(t, st, job.ID)
 	want := []string{"queued", "running", "done"}
 	if len(states) != len(want) {
 		t.Fatalf("got %d transitions, want %d", len(states), len(want))
@@ -71,15 +74,18 @@ func TestEventsJobLifecycle(t *testing.T) {
 		t.Fatal("LastID did not advance")
 	}
 
-	// Reconnect-safe resume: a second stream attached with After = the seq of
-	// the first transition replays exactly the retained events after it.
-	firstSeq := lastSeq - 2 // queued's seq; running and done follow contiguously
+	// Reconnect-safe resume: a second stream attached with After = the seq
+	// of the first transition replays exactly the retained job.state events
+	// after it. (Seqs are global across topics — job.lease events interleave
+	// — so the anchor is the queued event's observed seq, not an offset from
+	// LastID.)
+	firstSeq := seqs[0]
 	st2, err := c.Events(ctx, EventsOptions{Topics: []string{TopicJobState}, After: firstSeq})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer st2.Close()
-	replayed := readJobStates(t, st2, job.ID)
+	replayed, _ := readJobStates(t, st2, job.ID)
 	if len(replayed) != 2 || replayed[0].State != "running" || replayed[1].State != "done" {
 		got := make([]string, len(replayed))
 		for i, js := range replayed {

@@ -1,0 +1,127 @@
+package client
+
+// Wait's polling fallback (jittered exponential backoff, Retry-After
+// handling) and the default transport timeouts.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDefaultTransportTimeouts(t *testing.T) {
+	c := New("http://127.0.0.1:1")
+	if c.hc.Timeout != 0 {
+		t.Errorf("Client.Timeout = %v, want 0 (streams must stay open)", c.hc.Timeout)
+	}
+	tr, ok := c.hc.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("transport = %T, want *http.Transport", c.hc.Transport)
+	}
+	if tr.DialContext == nil {
+		t.Error("DialContext not set: dials to a dead host would hang")
+	}
+	if tr.TLSHandshakeTimeout <= 0 {
+		t.Errorf("TLSHandshakeTimeout = %v, want > 0", tr.TLSHandshakeTimeout)
+	}
+	if tr.ResponseHeaderTimeout <= 0 {
+		t.Errorf("ResponseHeaderTimeout = %v, want > 0", tr.ResponseHeaderTimeout)
+	}
+
+	// WithHTTPClient still overrides the default wholesale.
+	custom := &http.Client{Timeout: time.Second}
+	if got := New("http://x", WithHTTPClient(custom)).hc; got != custom {
+		t.Error("WithHTTPClient did not replace the default client")
+	}
+}
+
+func TestWaitBackoffSchedule(t *testing.T) {
+	// The base delay doubles up to the cap; each sleep jitters within
+	// ±25% of the current base.
+	delay := waitPollBase
+	for i := 0; i < 10; i++ {
+		sleep, next := waitBackoff(delay, 0)
+		if lo, hi := delay-delay/4, delay+delay/4; sleep < lo || sleep > hi {
+			t.Fatalf("step %d: sleep %v outside [%v, %v]", i, sleep, lo, hi)
+		}
+		if want := min(2*delay, waitPollCap); next != want {
+			t.Fatalf("step %d: next delay %v, want %v", i, next, want)
+		}
+		delay = next
+	}
+	if delay != waitPollCap {
+		t.Errorf("delay converged to %v, want cap %v", delay, waitPollCap)
+	}
+
+	// A Retry-After hint overrides the sleep without advancing the
+	// schedule: once the server stops shedding, pacing resumes where it
+	// left off.
+	sleep, next := waitBackoff(100*time.Millisecond, 3*time.Second)
+	if sleep != 3*time.Second {
+		t.Errorf("sleep = %v, want the 3s hint", sleep)
+	}
+	if next != 100*time.Millisecond {
+		t.Errorf("next delay = %v, want unchanged 100ms", next)
+	}
+}
+
+// TestWaitPollsThroughOverload: when the stream is unavailable and the
+// status endpoint sheds polls with 429, Wait keeps polling (honoring the
+// hint) instead of failing, and returns the terminal status once the server
+// recovers.
+func TestWaitPollsThroughOverload(t *testing.T) {
+	var polls atomic.Int64
+	mux := http.NewServeMux()
+	// No stream route: Wait's stream attempt 404s and it falls back to
+	// polling.
+	mux.HandleFunc("GET /v2/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		switch polls.Add(1) {
+		case 1, 2:
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed","code":"overloaded"}`)
+		default:
+			json.NewEncoder(w).Encode(Job{ID: "job-1", State: JobDone})
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	job, err := New(ts.URL).Wait(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if job.State != JobDone {
+		t.Errorf("state = %q, want done", job.State)
+	}
+	if n := polls.Load(); n != 3 {
+		t.Errorf("polls = %d, want 3 (two shed, one served)", n)
+	}
+}
+
+// TestWaitSurfacesHardErrors: non-429 failures are not retried.
+func TestWaitSurfacesHardErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/jobs/job-1", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"boom","code":"internal"}`)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	start := time.Now()
+	_, err := New(ts.URL).Wait(context.Background(), "job-1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want HTTP 500 APIError", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("hard error took %v to surface; should not back off", d)
+	}
+}
